@@ -1,0 +1,42 @@
+GO ?= go
+
+.PHONY: all build test race bench figures examples vet fmt clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -l -w .
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Compact per-figure benchmarks (one testing.B bench per table/figure).
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# Regenerate every figure, table and ablation with the quick protocol.
+figures:
+	$(GO) run ./cmd/cloudrepl-bench -all -short -csv results
+
+# Full-protocol panels (the paper's 10/20/5-minute runs; slower).
+figures-full:
+	$(GO) run ./cmd/cloudrepl-bench -all -csv results
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/socialcalendar
+	$(GO) run ./examples/georeplication
+	$(GO) run ./examples/failover
+	$(GO) run ./examples/instancelottery
+
+clean:
+	rm -rf results test_output.txt bench_output.txt

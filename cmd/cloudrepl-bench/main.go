@@ -1,0 +1,190 @@
+// Command cloudrepl-bench regenerates every table and figure of the
+// paper's evaluation on the simulated cloud:
+//
+//	cloudrepl-bench -fig 2,5          # 50/50 throughput + delay panels
+//	cloudrepl-bench -fig 3,6 -short   # 80/20 panels with the quick protocol
+//	cloudrepl-bench -fig 4            # clock synchronization (and T-NTP)
+//	cloudrepl-bench -rtt              # half-RTT table (T-RTT)
+//	cloudrepl-bench -ablation sync,lb,var
+//	cloudrepl-bench -all -csv out/    # everything, with CSVs for plotting
+//
+// Figures 2/5 share one sweep (each run yields throughput and delay), as
+// do figures 3/6. Full-protocol sweeps use the paper's 10/20/5-minute runs
+// on virtual time; -short shrinks them to 2/5/1 minutes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"cloudrepl/internal/experiment"
+)
+
+func main() {
+	figs := flag.String("fig", "", "comma-separated figures to regenerate (2,3,4,5,6)")
+	rtt := flag.Bool("rtt", false, "measure the half-RTT table (T-RTT)")
+	ablations := flag.String("ablation", "", "comma-separated ablations (sync,lb,var,prio,arch)")
+	all := flag.Bool("all", false, "regenerate every figure, table and ablation")
+	short := flag.Bool("short", false, "use the 2/5/1-minute quick protocol instead of 10/20/5")
+	seed := flag.Int64("seed", 1, "base random seed")
+	par := flag.Int("par", 0, "parallel runs (0 = GOMAXPROCS)")
+	csvDir := flag.String("csv", "", "directory to write per-figure CSV files into")
+	quiet := flag.Bool("q", false, "suppress per-run progress lines")
+	flag.Parse()
+
+	want := map[string]bool{}
+	for _, f := range strings.Split(*figs, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			want["fig"+f] = true
+		}
+	}
+	for _, a := range strings.Split(*ablations, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			want["ab-"+a] = true
+		}
+	}
+	if *rtt {
+		want["rtt"] = true
+	}
+	if *all {
+		for _, k := range []string{"fig2", "fig3", "fig4", "fig5", "fig6", "rtt", "ab-sync", "ab-lb", "ab-var", "ab-prio", "ab-arch"} {
+			want[k] = true
+		}
+	}
+	if len(want) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	opts := experiment.SweepOpts{Short: *short, Parallelism: *par, Seed: *seed}
+	if !*quiet {
+		opts.Progress = func(s string) { fmt.Fprintln(os.Stderr, s) }
+	}
+
+	writeCSV := func(name, content string) {
+		if *csvDir == "" {
+			return
+		}
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fatal(err)
+		}
+		path := filepath.Join(*csvDir, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	}
+
+	start := time.Now()
+
+	if want["fig2"] || want["fig5"] {
+		sw := experiment.Fig2Sweep(opts)
+		banner("sweep: 50/50, data size 300 (figures 2 and 5)")
+		if err := sw.Run(); err != nil {
+			fatal(err)
+		}
+		if want["fig2"] {
+			fmt.Println(sw.RenderThroughput("Fig. 2 — end-to-end throughput, 50/50"))
+			fmt.Println(sw.RenderSaturation("T-SAT (50/50)"))
+		}
+		if want["fig5"] {
+			fmt.Println(sw.RenderDelay("Fig. 5 — average relative replication delay, 50/50"))
+		}
+		writeCSV("fig2_fig5.csv", sw.CSV())
+	}
+
+	if want["fig3"] || want["fig6"] {
+		sw := experiment.Fig3Sweep(opts)
+		banner("sweep: 80/20, data size 600 (figures 3 and 6)")
+		if err := sw.Run(); err != nil {
+			fatal(err)
+		}
+		if want["fig3"] {
+			fmt.Println(sw.RenderThroughput("Fig. 3 — end-to-end throughput, 80/20"))
+			fmt.Println(sw.RenderSaturation("T-SAT (80/20)"))
+		}
+		if want["fig6"] {
+			fmt.Println(sw.RenderDelay("Fig. 6 — average relative replication delay, 80/20"))
+		}
+		writeCSV("fig3_fig6.csv", sw.CSV())
+	}
+
+	if want["fig4"] {
+		banner("clock synchronization (figure 4 and T-NTP)")
+		once, every := experiment.Fig4(*seed)
+		fmt.Println(experiment.RenderFig4(once, every))
+		var csv strings.Builder
+		csv.WriteString("second,sync_once_ms,sync_every_second_ms\n")
+		for i := range once.SamplesM {
+			fmt.Fprintf(&csv, "%d,%.3f,%.3f\n", i+1, once.SamplesM[i], every.SamplesM[i])
+		}
+		writeCSV("fig4.csv", csv.String())
+	}
+
+	if want["rtt"] {
+		banner("half-RTT measurements (T-RTT)")
+		fmt.Println(experiment.RenderRTT(experiment.TableRTT(*seed)))
+	}
+
+	if want["ab-sync"] {
+		banner("ablation: synchronization models (A-SYNC)")
+		rows, err := experiment.AblationSyncModes(opts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(experiment.RenderSyncModes(rows))
+	}
+
+	if want["ab-lb"] {
+		banner("ablation: read balancers (A-LB)")
+		rows, err := experiment.AblationBalancers(opts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(experiment.RenderBalancers(rows))
+	}
+
+	if want["ab-prio"] {
+		banner("ablation: prioritized SQL applier (A-PRIO)")
+		r, err := experiment.AblationApplierPriority(opts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(experiment.RenderApplierPriority(r))
+	}
+
+	if want["ab-arch"] {
+		banner("ablation: master-slave vs multi-master (A-ARCH)")
+		rows, err := experiment.AblationArchitectures(opts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(experiment.RenderArchitectures(rows))
+	}
+
+	if want["ab-var"] {
+		banner("ablation: instance performance variation (A-VAR)")
+		v, err := experiment.AblationInstanceVariation(opts, 12)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(experiment.RenderVariation(v))
+	}
+
+	fmt.Fprintf(os.Stderr, "total wall time: %v\n", time.Since(start).Round(time.Second))
+}
+
+func banner(s string) {
+	fmt.Println("==============================================================================")
+	fmt.Println(s)
+	fmt.Println("==============================================================================")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cloudrepl-bench:", err)
+	os.Exit(1)
+}

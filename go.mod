@@ -1,0 +1,3 @@
+module cloudrepl
+
+go 1.22

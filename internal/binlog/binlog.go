@@ -1,0 +1,139 @@
+// Package binlog implements a statement-based binary log in the style of
+// MySQL 5.x: an append-only sequence of committed write statements, each
+// tagged with the master's local commit timestamp, plus blocking readers
+// (one per replication dump thread) that tail the log.
+package binlog
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"cloudrepl/internal/sim"
+)
+
+// Entry is one committed statement in the log.
+type Entry struct {
+	// Seq is the entry's position, 1-based and dense.
+	Seq uint64
+	// Database is the default database the statement executed under.
+	Database string
+	// SQL is the replayable statement text with parameters interpolated.
+	SQL string
+	// TimestampMicros is the master's local clock at commit, in µs.
+	TimestampMicros int64
+}
+
+// WireSize returns the encoded size in bytes, used for transfer accounting.
+func (e Entry) WireSize() int { return 8 + 8 + 4 + len(e.Database) + 4 + len(e.SQL) }
+
+// Encode serializes the entry (length-prefixed strings, little endian).
+func (e Entry) Encode() []byte {
+	buf := make([]byte, 0, e.WireSize())
+	var tmp [8]byte
+	binary.LittleEndian.PutUint64(tmp[:], e.Seq)
+	buf = append(buf, tmp[:]...)
+	binary.LittleEndian.PutUint64(tmp[:], uint64(e.TimestampMicros))
+	buf = append(buf, tmp[:]...)
+	binary.LittleEndian.PutUint32(tmp[:4], uint32(len(e.Database)))
+	buf = append(buf, tmp[:4]...)
+	buf = append(buf, e.Database...)
+	binary.LittleEndian.PutUint32(tmp[:4], uint32(len(e.SQL)))
+	buf = append(buf, tmp[:4]...)
+	buf = append(buf, e.SQL...)
+	return buf
+}
+
+// Decode parses an encoded entry.
+func Decode(buf []byte) (Entry, error) {
+	var e Entry
+	if len(buf) < 24 {
+		return e, fmt.Errorf("binlog: truncated entry header")
+	}
+	e.Seq = binary.LittleEndian.Uint64(buf[0:8])
+	e.TimestampMicros = int64(binary.LittleEndian.Uint64(buf[8:16]))
+	dbLen := int(binary.LittleEndian.Uint32(buf[16:20]))
+	if len(buf) < 20+dbLen+4 {
+		return e, fmt.Errorf("binlog: truncated database name")
+	}
+	e.Database = string(buf[20 : 20+dbLen])
+	off := 20 + dbLen
+	sqlLen := int(binary.LittleEndian.Uint32(buf[off : off+4]))
+	off += 4
+	if len(buf) < off+sqlLen {
+		return e, fmt.Errorf("binlog: truncated SQL text")
+	}
+	e.SQL = string(buf[off : off+sqlLen])
+	return e, nil
+}
+
+// Log is an in-memory append-only binlog with blocking tail readers.
+type Log struct {
+	env      *sim.Env
+	entries  []Entry
+	appended *sim.Signal
+	bytes    int64
+}
+
+// New creates an empty log bound to env.
+func New(env *sim.Env) *Log {
+	return &Log{env: env, appended: sim.NewSignal(env)}
+}
+
+// Append adds a statement to the log and wakes tailing readers. It returns
+// the assigned sequence number.
+func (l *Log) Append(database, sql string, tsMicros int64) uint64 {
+	seq := uint64(len(l.entries)) + 1
+	e := Entry{Seq: seq, Database: database, SQL: sql, TimestampMicros: tsMicros}
+	l.entries = append(l.entries, e)
+	l.bytes += int64(e.WireSize())
+	l.appended.Broadcast()
+	return seq
+}
+
+// LastSeq returns the sequence of the newest entry (0 when empty).
+func (l *Log) LastSeq() uint64 { return uint64(len(l.entries)) }
+
+// Bytes returns the total encoded size of the log.
+func (l *Log) Bytes() int64 { return l.bytes }
+
+// At returns the entry with the given sequence number.
+func (l *Log) At(seq uint64) (Entry, error) {
+	if seq == 0 || seq > uint64(len(l.entries)) {
+		return Entry{}, fmt.Errorf("binlog: no entry at seq %d (last %d)", seq, l.LastSeq())
+	}
+	return l.entries[seq-1], nil
+}
+
+// Reader tails the log from a position. Each dump thread owns one reader.
+type Reader struct {
+	log *Log
+	pos uint64 // last delivered seq
+}
+
+// NewReader creates a reader starting after position pos (pos=0 reads the
+// log from the beginning; pos=LastSeq() reads only new entries).
+func (l *Log) NewReader(pos uint64) *Reader { return &Reader{log: l, pos: pos} }
+
+// Pos returns the last delivered sequence.
+func (r *Reader) Pos() uint64 { return r.pos }
+
+// Next returns the next entry, blocking until one is appended.
+func (r *Reader) Next(p *sim.Proc) Entry {
+	for r.pos >= r.log.LastSeq() {
+		r.log.appended.Wait(p)
+	}
+	r.pos++
+	return r.log.entries[r.pos-1]
+}
+
+// TryNext returns the next entry without blocking.
+func (r *Reader) TryNext() (Entry, bool) {
+	if r.pos >= r.log.LastSeq() {
+		return Entry{}, false
+	}
+	r.pos++
+	return r.log.entries[r.pos-1], true
+}
+
+// Backlog returns how many entries the reader is behind the tail.
+func (r *Reader) Backlog() uint64 { return r.log.LastSeq() - r.pos }

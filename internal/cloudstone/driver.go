@@ -1,0 +1,288 @@
+package cloudstone
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"cloudrepl/internal/core"
+	"cloudrepl/internal/metrics"
+	"cloudrepl/internal/sim"
+	"cloudrepl/internal/sqlengine"
+)
+
+// Config parameterizes a load run.
+type Config struct {
+	// Scale is the initial data size the database was preloaded with.
+	Scale int
+	// ReadRatio is the fraction of operations that are reads (0.5 or 0.8
+	// in the paper).
+	ReadRatio float64
+	// Users is the number of concurrent emulated users ("workload").
+	Users int
+	// ThinkTime is the mean of the exponential pause between a user's
+	// operations. The default (7 s) is calibrated so that ≈100 users
+	// saturate one small slave at 50/50 as in the paper's Fig. 2.
+	ThinkTime time.Duration
+	// RampUp, Steady, RampDown are the run phases. The paper uses
+	// 10/20/5 minutes.
+	RampUp   time.Duration
+	Steady   time.Duration
+	RampDown time.Duration
+}
+
+// DefaultPhases applies the paper's 35-minute run structure.
+func (c *Config) applyDefaults() {
+	if c.ThinkTime == 0 {
+		c.ThinkTime = 7 * time.Second
+	}
+	if c.RampUp == 0 {
+		c.RampUp = 10 * time.Minute
+	}
+	if c.Steady == 0 {
+		c.Steady = 20 * time.Minute
+	}
+	if c.RampDown == 0 {
+		c.RampDown = 5 * time.Minute
+	}
+	if c.ReadRatio == 0 {
+		c.ReadRatio = 0.5
+	}
+	if c.Scale == 0 {
+		c.Scale = 300
+	}
+}
+
+// Result summarizes a completed run.
+type Result struct {
+	// Throughput is completed operations per second during steady state —
+	// the paper's "end-to-end throughput".
+	Throughput      float64
+	ReadThroughput  float64
+	WriteThroughput float64
+	Reads           int
+	Writes          int
+	Errors          int
+	// Latency is the client-observed per-operation latency during steady
+	// state, in milliseconds; ReadLatency and WriteLatency split it by
+	// statement class (write latency includes the synchronization-model
+	// commit wait, the cost of sync replication).
+	Latency      metrics.Summary
+	ReadLatency  metrics.Summary
+	WriteLatency metrics.Summary
+	// PerOp counts completed operations by name.
+	PerOp map[string]int
+}
+
+// Driver runs the benchmark against a replicated database handle.
+type Driver struct {
+	DB  *core.DB
+	Cfg Config
+
+	steadyFrom sim.Time
+	steadyTo   sim.Time
+	stop       bool
+
+	reads, writes, errors int
+	perOp                 map[string]int
+	latency               metrics.Histogram
+	latencyR, latencyW    metrics.Histogram
+
+	nextEventID   int64
+	nextAttID     int64
+	nextTagRefID  int64
+	nextCommentID int64
+	nextUserID    int64
+}
+
+// NewDriver builds a driver; the database must already be preloaded at
+// cfg.Scale.
+func NewDriver(db *core.DB, cfg Config) *Driver {
+	cfg.applyDefaults()
+	return &Driver{
+		DB:  db,
+		Cfg: cfg,
+		// Live inserts use an id space far above the preload's.
+		nextEventID:   1_000_000,
+		nextAttID:     1_000_000,
+		nextTagRefID:  1_000_000,
+		nextCommentID: 1_000_000,
+		nextUserID:    1_000_000,
+		perOp:         make(map[string]int),
+	}
+}
+
+// Start launches the emulated users. Users begin staggered across the
+// ramp-up phase, operate through steady state and exit during ramp-down.
+// Only operations completed inside the steady window are counted. The
+// returned function reports whether the run is finished.
+func (d *Driver) Start(env *sim.Env) (done func() bool) {
+	start := env.Now()
+	d.steadyFrom = start + d.Cfg.RampUp
+	d.steadyTo = d.steadyFrom + d.Cfg.Steady
+	end := d.steadyTo + d.Cfg.RampDown
+	remaining := d.Cfg.Users
+
+	for i := 0; i < d.Cfg.Users; i++ {
+		i := i
+		env.Go(fmt.Sprintf("user%d", i), func(p *sim.Proc) {
+			defer func() { remaining-- }()
+			// Stagger arrival uniformly across ramp-up.
+			if d.Cfg.Users > 1 {
+				p.SleepUntil(start + time.Duration(int64(d.Cfg.RampUp)*int64(i)/int64(d.Cfg.Users)))
+			}
+			for !d.stop && p.Now() < end {
+				d.oneOperation(p)
+				p.Sleep(sim.Exp(p.Rand(), d.Cfg.ThinkTime))
+			}
+		})
+	}
+	return func() bool { return remaining == 0 }
+}
+
+// StopEarly aborts the run at the next operation boundary of each user.
+func (d *Driver) StopEarly() { d.stop = true }
+
+// SteadyWindow returns the measurement window on the virtual timeline.
+func (d *Driver) SteadyWindow() (from, to sim.Time) { return d.steadyFrom, d.steadyTo }
+
+// Result computes the run summary; call after the simulation has run past
+// the steady window.
+func (d *Driver) Result() Result {
+	sec := d.Cfg.Steady.Seconds()
+	return Result{
+		Throughput:      float64(d.reads+d.writes) / sec,
+		ReadThroughput:  float64(d.reads) / sec,
+		WriteThroughput: float64(d.writes) / sec,
+		Reads:           d.reads,
+		Writes:          d.writes,
+		Errors:          d.errors,
+		Latency:         d.latency.Summary(),
+		ReadLatency:     d.latencyR.Summary(),
+		WriteLatency:    d.latencyW.Summary(),
+		PerOp:           d.perOp,
+	}
+}
+
+// op is one user operation: a single SQL statement, as in the paper's
+// customized Cloudstone where business logic executes directly on the
+// database tier.
+type op struct {
+	name string
+	sql  string
+	args []sqlengine.Value
+}
+
+func (d *Driver) oneOperation(p *sim.Proc) {
+	rng := p.Rand()
+	var o op
+	isRead := rng.Float64() < d.Cfg.ReadRatio
+	if isRead {
+		o = d.readOp(rng)
+	} else {
+		o = d.writeOp(rng)
+	}
+	t0 := p.Now()
+	_, err := d.DB.Exec(p, o.sql, o.args...)
+	inSteady := p.Now() >= d.steadyFrom && p.Now() < d.steadyTo
+	if err != nil {
+		if inSteady {
+			d.errors++
+		}
+		return
+	}
+	if inSteady {
+		d.latency.Record(p.Now() - t0)
+		d.perOp[o.name]++
+		if isRead {
+			d.reads++
+			d.latencyR.Record(p.Now() - t0)
+		} else {
+			d.writes++
+			d.latencyW.Record(p.Now() - t0)
+		}
+	}
+}
+
+// seedID picks a random id from the preloaded range.
+func (d *Driver) seedID(rng *rand.Rand) int64 { return int64(rng.Intn(d.Cfg.Scale)) + 1 }
+
+func (d *Driver) readOp(rng *rand.Rand) op {
+	switch w := rng.Float64(); {
+	case w < 0.20: // home page: newest events
+		return op{"home", "SELECT id, title, event_date FROM events ORDER BY created DESC LIMIT 10", nil}
+	case w < 0.40: // event detail
+		return op{"event-detail", "SELECT * FROM events WHERE id = ?",
+			[]sqlengine.Value{sqlengine.NewInt(d.seedID(rng))}}
+	case w < 0.50: // attendee list
+		return op{"attendees", "SELECT user_id FROM attendance WHERE event_id = ?",
+			[]sqlengine.Value{sqlengine.NewInt(d.seedID(rng))}}
+	case w < 0.60: // text search (full scan, data-size dependent)
+		return op{"search-text", "SELECT id, title FROM events WHERE title LIKE ? LIMIT 10",
+			[]sqlengine.Value{sqlengine.NewString(fmt.Sprintf("%%%d m%%", rng.Intn(d.Cfg.Scale)))}}
+	case w < 0.75: // tag search (indexed + join)
+		return op{"search-tag",
+			"SELECT e.id, e.title FROM event_tags et JOIN events e ON e.id = et.event_id WHERE et.tag_id = ? LIMIT 20",
+			[]sqlengine.Value{sqlengine.NewInt(int64(rng.Intn(NumTags)) + 1)}}
+	case w < 0.85: // user profile
+		return op{"profile", "SELECT * FROM users WHERE id = ?",
+			[]sqlengine.Value{sqlengine.NewInt(d.seedID(rng))}}
+	case w < 0.95: // a user's events (indexed)
+		return op{"user-events", "SELECT id, title FROM events WHERE creator_id = ?",
+			[]sqlengine.Value{sqlengine.NewInt(d.seedID(rng))}}
+	default: // tag cloud (aggregate scan)
+		return op{"tag-cloud",
+			"SELECT tag_id, COUNT(*) AS cnt FROM event_tags GROUP BY tag_id ORDER BY cnt DESC LIMIT 10", nil}
+	}
+}
+
+func (d *Driver) writeOp(rng *rand.Rand) op {
+	switch w := rng.Float64(); {
+	case w < 0.25: // create event
+		d.nextEventID++
+		id := d.nextEventID
+		return op{"create-event",
+			"INSERT INTO events (id, creator_id, title, description, event_date, created) VALUES (?, ?, ?, ?, UTC_MICROS(), UTC_MICROS())",
+			[]sqlengine.Value{
+				sqlengine.NewInt(id),
+				sqlengine.NewInt(d.seedID(rng)),
+				sqlengine.NewString(fmt.Sprintf("Event %d meetup", id)),
+				sqlengine.NewString("created during the benchmark run"),
+			}}
+	case w < 0.55: // join (attend) an event
+		d.nextAttID++
+		return op{"join-event",
+			"INSERT INTO attendance (id, event_id, user_id, created) VALUES (?, ?, ?, UTC_MICROS())",
+			[]sqlengine.Value{
+				sqlengine.NewInt(d.nextAttID),
+				sqlengine.NewInt(d.seedID(rng)),
+				sqlengine.NewInt(d.seedID(rng)),
+			}}
+	case w < 0.75: // tag an event
+		d.nextTagRefID++
+		return op{"tag-event",
+			"INSERT INTO event_tags (id, event_id, tag_id) VALUES (?, ?, ?)",
+			[]sqlengine.Value{
+				sqlengine.NewInt(d.nextTagRefID),
+				sqlengine.NewInt(d.seedID(rng)),
+				sqlengine.NewInt(int64(rng.Intn(NumTags)) + 1),
+			}}
+	case w < 0.95: // comment on an event
+		d.nextCommentID++
+		return op{"add-comment",
+			"INSERT INTO comments (id, event_id, user_id, body, created) VALUES (?, ?, ?, ?, UTC_MICROS())",
+			[]sqlengine.Value{
+				sqlengine.NewInt(d.nextCommentID),
+				sqlengine.NewInt(d.seedID(rng)),
+				sqlengine.NewInt(d.seedID(rng)),
+				sqlengine.NewString("sounds great, count me in"),
+			}}
+	default: // edit event description
+		return op{"update-event",
+			"UPDATE events SET description = ? WHERE id = ?",
+			[]sqlengine.Value{
+				sqlengine.NewString("updated during the benchmark run"),
+				sqlengine.NewInt(d.seedID(rng)),
+			}}
+	}
+}

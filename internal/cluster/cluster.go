@@ -1,0 +1,195 @@
+// Package cluster assembles an application-managed replicated database
+// tier: a master and N slave DBServers on cloud instances, wired with
+// statement-based replication, plus elasticity (add/remove slaves at
+// runtime) and master failover by slave promotion.
+//
+// This is the deployment unit of the paper: MySQL instances on m1.small
+// VMs, one per replica, managed entirely by the application.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+
+	"cloudrepl/internal/cloud"
+	"cloudrepl/internal/repl"
+	"cloudrepl/internal/server"
+	"cloudrepl/internal/sim"
+)
+
+// NodeSpec places one database node.
+type NodeSpec struct {
+	Place cloud.Placement
+	Type  cloud.InstanceType
+}
+
+// Config describes a cluster.
+type Config struct {
+	// Mode is the replication synchronization model.
+	Mode repl.Mode
+	// Cost is the statement cost model for every node.
+	Cost server.CostModel
+	// Master places the master node.
+	Master NodeSpec
+	// Slaves places the initial replicas.
+	Slaves []NodeSpec
+	// Preload initializes a node's schema and data before it joins; it
+	// runs identically on the master and on every slave (the paper starts
+	// every run "with a pre-loaded, fully-synchronized database").
+	Preload func(srv *server.DBServer) error
+	// PriorityApply runs every slave's SQL thread at high CPU priority
+	// (see server.DBServer.PriorityApply).
+	PriorityApply bool
+}
+
+// Cluster is the running database tier.
+type Cluster struct {
+	env   *sim.Env
+	cloud *cloud.Cloud
+	cfg   Config
+
+	master *repl.Master
+	slaves []*repl.Slave
+	// basePos is the master binlog position right after preload; late
+	// slaves preload the same snapshot and attach here.
+	basePos uint64
+	nextID  int
+}
+
+// New builds and starts the cluster.
+func New(env *sim.Env, cl *cloud.Cloud, cfg Config) (*Cluster, error) {
+	if cfg.Master.Type.Name == "" {
+		cfg.Master.Type = cloud.Small
+	}
+	c := &Cluster{env: env, cloud: cl, cfg: cfg}
+	mInst := cl.Launch("master", cfg.Master.Type, cfg.Master.Place)
+	mSrv := server.New(env, "master", mInst, cfg.Cost)
+	if cfg.Preload != nil {
+		if err := cfg.Preload(mSrv); err != nil {
+			return nil, fmt.Errorf("cluster: preload master: %w", err)
+		}
+	}
+	c.master = repl.NewMaster(env, mSrv, cl.Network(), cfg.Mode)
+	c.basePos = mSrv.Log.LastSeq()
+	for _, spec := range cfg.Slaves {
+		if _, err := c.AddSlave(spec); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// Env returns the simulation environment.
+func (c *Cluster) Env() *sim.Env { return c.env }
+
+// Cloud returns the provider.
+func (c *Cluster) Cloud() *cloud.Cloud { return c.cloud }
+
+// Master returns the current replication master.
+func (c *Cluster) Master() *repl.Master { return c.master }
+
+// Slaves returns the attached replicas.
+func (c *Cluster) Slaves() []*repl.Slave { return c.master.Slaves() }
+
+// AddSlave launches, preloads and attaches a new replica. The new node
+// replays every write committed after the preload snapshot, in order.
+func (c *Cluster) AddSlave(spec NodeSpec) (*repl.Slave, error) {
+	if spec.Type.Name == "" {
+		spec.Type = cloud.Small
+	}
+	c.nextID++
+	name := fmt.Sprintf("slave%d", c.nextID)
+	inst := c.cloud.Launch(name, spec.Type, spec.Place)
+	srv := server.New(c.env, name, inst, c.cfg.Cost)
+	srv.PriorityApply = c.cfg.PriorityApply
+	if c.cfg.Preload != nil {
+		if err := c.cfg.Preload(srv); err != nil {
+			return nil, fmt.Errorf("cluster: preload %s: %w", name, err)
+		}
+	}
+	sl := repl.NewSlave(c.env, srv)
+	c.master.Attach(sl, c.basePos)
+	c.slaves = append(c.slaves, sl)
+	return sl, nil
+}
+
+// RemoveSlave detaches a replica and terminates its instance.
+func (c *Cluster) RemoveSlave(sl *repl.Slave) {
+	c.master.Detach(sl)
+	sl.Srv.Inst.Terminate()
+}
+
+// ErrNoPromotable is returned by Failover when no live slave exists.
+var ErrNoPromotable = errors.New("cluster: no live slave to promote")
+
+// Failover promotes the most-up-to-date live slave to master after a master
+// failure: its replication threads stop, a new Master wraps its server, and
+// the remaining slaves re-attach at their applied positions (entries they
+// already have are not replayed; entries the promoted slave never received
+// are lost, the documented risk of asynchronous replication).
+func (c *Cluster) Failover() (*repl.Master, error) {
+	var best *repl.Slave
+	for _, sl := range c.master.Slaves() {
+		if !sl.Srv.Up() {
+			continue
+		}
+		if best == nil || sl.AppliedSeq() > best.AppliedSeq() {
+			best = sl
+		}
+	}
+	if best == nil {
+		return nil, ErrNoPromotable
+	}
+	rest := make([]*repl.Slave, 0, len(c.master.Slaves())-1)
+	for _, sl := range c.master.Slaves() {
+		if sl != best {
+			rest = append(rest, sl)
+		}
+		c.master.Detach(sl)
+	}
+	// The promoted server's binlog mirrors the old master's (same preload,
+	// same applied statements in order, log-slave-updates style), so the
+	// old sequence numbering remains valid for re-attachment.
+	newMaster := repl.NewMaster(c.env, best.Srv, c.cloud.Network(), c.cfg.Mode)
+	c.master = newMaster
+	c.slaves = nil
+	for _, old := range rest {
+		if !old.Srv.Up() {
+			continue
+		}
+		pos := old.AppliedSeq()
+		if last := best.Srv.Log.LastSeq(); pos > last {
+			pos = last // writes beyond the promoted log are lost
+		}
+		sl := repl.NewSlave(c.env, old.Srv)
+		newMaster.Attach(sl, pos)
+		c.slaves = append(c.slaves, sl)
+	}
+	return newMaster, nil
+}
+
+// AddSlaveFromMaster provisions a replica from a live snapshot of the
+// master (the mysqldump/xtrabackup flow) instead of re-running the
+// deterministic preload: the new node restores the master's current state
+// and attaches at exactly the binlog position the snapshot captured, so no
+// history needs replaying and no write is applied twice.
+func (c *Cluster) AddSlaveFromMaster(spec NodeSpec) (*repl.Slave, error) {
+	if spec.Type.Name == "" {
+		spec.Type = cloud.Small
+	}
+	c.nextID++
+	name := fmt.Sprintf("slave%d", c.nextID)
+	inst := c.cloud.Launch(name, spec.Type, spec.Place)
+	srv := server.New(c.env, name, inst, c.cfg.Cost)
+	srv.PriorityApply = c.cfg.PriorityApply
+	// Snapshot and position are captured at the same instant; the virtual
+	// timeline makes the pair trivially consistent.
+	pos := c.master.Srv.Log.LastSeq()
+	if err := srv.Eng.Restore(c.master.Srv.Eng.Snapshot()); err != nil {
+		return nil, fmt.Errorf("cluster: provision %s: %w", name, err)
+	}
+	sl := repl.NewSlave(c.env, srv)
+	c.master.Attach(sl, pos)
+	c.slaves = append(c.slaves, sl)
+	return sl, nil
+}

@@ -1,0 +1,222 @@
+// Package core is the public face of cloudrepl: an application-managed
+// replicated database handle. It composes the cluster (master + slaves on
+// cloud VMs), a DBCP-style connection pool and a read/write-splitting proxy
+// into the single object an application codes against — the architecture
+// the paper ports from a conventional data center onto cloud VMs.
+//
+//	db, _ := core.Open(clu, core.Options{Database: "app", ClientPlace: place})
+//	db.Exec(p, "INSERT INTO t ...")   // routed to the master
+//	db.Query(p, "SELECT ...")         // balanced over the slaves
+package core
+
+import (
+	"time"
+
+	"cloudrepl/internal/cloud"
+	"cloudrepl/internal/cluster"
+	"cloudrepl/internal/pool"
+	"cloudrepl/internal/proxy"
+	"cloudrepl/internal/sim"
+	"cloudrepl/internal/sqlengine"
+)
+
+// Options configures a replicated database handle.
+type Options struct {
+	// Database is the default database for every connection.
+	Database string
+	// ClientPlace is where the application tier runs; every statement pays
+	// the network round trip from here to its backend.
+	ClientPlace cloud.Placement
+	// Balancer distributes reads over slaves (default round-robin).
+	Balancer proxy.Balancer
+	// ReadYourWrites enables per-connection session consistency: after a
+	// write, that connection's reads go only to slaves that have applied
+	// it (master fallback otherwise).
+	ReadYourWrites bool
+	// Pool sizes the connection pool (default 64/64, wait forever).
+	Pool pool.Config
+}
+
+// DB is a replicated database handle.
+type DB struct {
+	clu  *cluster.Cluster
+	px   *proxy.Proxy
+	pool *pool.Pool[*proxy.Conn]
+	opts Options
+}
+
+// Open wires a handle onto a running cluster.
+func Open(clu *cluster.Cluster, opts Options) *DB {
+	if opts.Pool.MaxActive == 0 {
+		opts.Pool = pool.Config{MaxActive: 64, MaxIdle: 64}
+	}
+	px := proxy.New(clu.Env(), clu.Cloud().Network(), clu.Master(), opts.ClientPlace, opts.Balancer)
+	px.ReadYourWrites = opts.ReadYourWrites
+	db := &DB{clu: clu, px: px, opts: opts}
+	db.pool = pool.New(clu.Env(), opts.Pool,
+		func() *proxy.Conn { return px.Connect(opts.Database) },
+		nil)
+	return db
+}
+
+// Cluster returns the underlying cluster.
+func (db *DB) Cluster() *cluster.Cluster { return db.clu }
+
+// Proxy returns the routing proxy.
+func (db *DB) Proxy() *proxy.Proxy { return db.px }
+
+// Pool returns the connection pool.
+func (db *DB) Pool() *pool.Pool[*proxy.Conn] { return db.pool }
+
+// Exec borrows a connection, routes and executes one statement, and returns
+// the connection to the pool. It must be called from a simulation process.
+func (db *DB) Exec(p *sim.Proc, sql string, args ...sqlengine.Value) (*proxy.ExecResult, error) {
+	conn, err := db.pool.Borrow(p)
+	if err != nil {
+		return nil, err
+	}
+	res, err := conn.Exec(p, sql, args...)
+	db.pool.Return(conn)
+	return res, err
+}
+
+// Query is Exec returning the result set.
+func (db *DB) Query(p *sim.Proc, sql string, args ...sqlengine.Value) (*sqlengine.ResultSet, error) {
+	res, err := db.Exec(p, sql, args...)
+	if err != nil {
+		return nil, err
+	}
+	return res.Result.Set, nil
+}
+
+// Staleness summarizes the cluster's current replication state as seen by
+// the application: per-slave events behind the master.
+type Staleness struct {
+	Slaves []SlaveLag
+	// MaxEvents is the worst lag across slaves.
+	MaxEvents uint64
+}
+
+// SlaveLag is one replica's lag.
+type SlaveLag struct {
+	Name         string
+	EventsBehind uint64
+	RelayBacklog int
+}
+
+// Staleness samples the replication lag of every attached slave.
+func (db *DB) Staleness() Staleness {
+	var st Staleness
+	for _, sl := range db.clu.Master().Slaves() {
+		lag := sl.EventsBehindMaster()
+		st.Slaves = append(st.Slaves, SlaveLag{
+			Name:         sl.Srv.Name,
+			EventsBehind: lag,
+			RelayBacklog: sl.RelayBacklog(),
+		})
+		if lag > st.MaxEvents {
+			st.MaxEvents = lag
+		}
+	}
+	return st
+}
+
+// ScaleOut adds a replica at the given placement (the elasticity the
+// application-managed approach exists for).
+func (db *DB) ScaleOut(spec cluster.NodeSpec) error {
+	_, err := db.clu.AddSlave(spec)
+	return err
+}
+
+// ScaleIn removes the most-lagged replica.
+func (db *DB) ScaleIn() {
+	slaves := db.clu.Master().Slaves()
+	if len(slaves) == 0 {
+		return
+	}
+	worst := slaves[0]
+	for _, sl := range slaves[1:] {
+		if sl.EventsBehindMaster() > worst.EventsBehindMaster() {
+			worst = sl
+		}
+	}
+	db.clu.RemoveSlave(worst)
+}
+
+// Failover promotes a slave after a master failure and re-points the proxy.
+func (db *DB) Failover() error {
+	m, err := db.clu.Failover()
+	if err != nil {
+		return err
+	}
+	db.px.SetMaster(m)
+	return nil
+}
+
+// WaitCaughtUp blocks until every slave has applied the master's current
+// binlog position or the timeout elapses; it reports success.
+func (db *DB) WaitCaughtUp(p *sim.Proc, timeout time.Duration) bool {
+	deadline := p.Now() + timeout
+	target := db.clu.Master().Srv.Log.LastSeq()
+	for {
+		ok := true
+		for _, sl := range db.clu.Master().Slaves() {
+			if sl.AppliedSeq() < target {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+		if p.Now() >= deadline {
+			return false
+		}
+		p.Sleep(50 * time.Millisecond)
+	}
+}
+
+// InstanceReport is one node's validation result.
+type InstanceReport struct {
+	Name     string
+	Place    cloud.Placement
+	CPUModel string
+	Speed    float64
+}
+
+// ValidateInstances measures the effective CPU speed of every node in the
+// cluster — the paper's §IV-A advice to validate instance performance
+// before accepting a deployment, since a slow physical host visibly caps
+// end-to-end throughput. Run it before opening the tier to traffic: the
+// probe competes with client load otherwise.
+func (db *DB) ValidateInstances(p *sim.Proc, probes int) []InstanceReport {
+	var out []InstanceReport
+	report := func(name string, inst *cloud.Instance) {
+		out = append(out, InstanceReport{
+			Name:     name,
+			Place:    inst.Place,
+			CPUModel: inst.CPUModel.Name,
+			Speed:    cloud.MeasureSpeed(p, inst, probes),
+		})
+	}
+	report(db.clu.Master().Srv.Name, db.clu.Master().Srv.Inst)
+	for _, sl := range db.clu.Master().Slaves() {
+		report(sl.Srv.Name, sl.Srv.Inst)
+	}
+	return out
+}
+
+// Stats aggregates the handle's middleware counters.
+type Stats struct {
+	Proxy proxy.Stats
+	Pool  pool.Stats
+}
+
+// Stats returns a snapshot of proxy routing and pool activity counters.
+func (db *DB) Stats() Stats {
+	return Stats{Proxy: db.px.Stats(), Pool: db.pool.Stats()}
+}
+
+// Close shuts the connection pool; the cluster keeps running (databases
+// outlive application handles).
+func (db *DB) Close() { db.pool.Close() }

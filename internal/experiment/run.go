@@ -1,0 +1,293 @@
+// Package experiment reproduces the paper's evaluation: it builds the full
+// stack (simulated EC2, replicated MySQL-style cluster, pool + proxy,
+// Cloudstone workload, heartbeat measurement) for one parameter point, runs
+// the 35-minute protocol (10 min ramp-up, 20 min steady state, 5 min
+// ramp-down), and extracts the two reported metrics — end-to-end throughput
+// and average (relative) replication delay — plus diagnostics.
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"cloudrepl/internal/cloud"
+	"cloudrepl/internal/cloudstone"
+	"cloudrepl/internal/cluster"
+	"cloudrepl/internal/core"
+	"cloudrepl/internal/heartbeat"
+	"cloudrepl/internal/metrics"
+	"cloudrepl/internal/pool"
+	"cloudrepl/internal/proxy"
+	"cloudrepl/internal/repl"
+	"cloudrepl/internal/server"
+	"cloudrepl/internal/sim"
+	"cloudrepl/internal/vclock"
+)
+
+// Location is the paper's slave-placement configuration relative to the
+// master in us-west-1a.
+type Location int
+
+// The three configurations of Figs. 2–6.
+const (
+	SameZone   Location = iota // us-west-1a
+	DiffZone                   // us-west-1b
+	DiffRegion                 // eu-west-1a
+)
+
+func (l Location) String() string {
+	switch l {
+	case SameZone:
+		return "same zone (us-west-1a)"
+	case DiffZone:
+		return "different zone (us-west-1b)"
+	default:
+		return "different region (eu-west-1a)"
+	}
+}
+
+// MasterPlacement is where the paper's master and benchmark driver live.
+var MasterPlacement = cloud.Placement{Region: cloud.USWest1, Zone: "a"}
+
+// SlavePlacement returns the placement for this location configuration.
+func (l Location) SlavePlacement() cloud.Placement {
+	switch l {
+	case SameZone:
+		return cloud.Placement{Region: cloud.USWest1, Zone: "a"}
+	case DiffZone:
+		return cloud.Placement{Region: cloud.USWest1, Zone: "b"}
+	default:
+		return cloud.Placement{Region: cloud.EUWest1, Zone: "a"}
+	}
+}
+
+// RunSpec is one experiment point.
+type RunSpec struct {
+	Seed      int64
+	Users     int // 0 = unloaded baseline (heartbeat only)
+	Slaves    int
+	Scale     int     // initial data size (300 or 600)
+	ReadRatio float64 // 0.5 or 0.8
+	Loc       Location
+	Mode      repl.Mode
+	// Balancer constructs the read balancer (nil = round-robin, the
+	// Connector/J default used by the paper).
+	Balancer func() proxy.Balancer
+	// Phases overrides the 10/20/5-minute protocol when non-zero.
+	RampUp, Steady, RampDown time.Duration
+	// HeartbeatInterval defaults to 1 s.
+	HeartbeatInterval time.Duration
+	// Heterogeneous enables the CoV-21% instance speed variation; the
+	// figure sweeps keep it off so curves reflect topology, not luck.
+	Heterogeneous bool
+	// PriorityApply runs slave SQL threads at high CPU priority (A-PRIO).
+	PriorityApply bool
+	// Cost overrides the calibrated cost model when non-nil.
+	Cost *server.CostModel
+}
+
+func (s *RunSpec) applyDefaults() {
+	if s.Scale == 0 {
+		s.Scale = 300
+	}
+	if s.ReadRatio == 0 {
+		s.ReadRatio = 0.5
+	}
+	if s.RampUp == 0 {
+		s.RampUp = 10 * time.Minute
+	}
+	if s.Steady == 0 {
+		s.Steady = 20 * time.Minute
+	}
+	if s.RampDown == 0 {
+		s.RampDown = 5 * time.Minute
+	}
+	if s.HeartbeatInterval == 0 {
+		s.HeartbeatInterval = time.Second
+	}
+}
+
+// RunResult is one experiment point's measurements.
+type RunResult struct {
+	Spec RunSpec
+
+	// Throughput is steady-state completed operations per second.
+	Throughput      float64
+	ReadThroughput  float64
+	WriteThroughput float64
+	Errors          int
+
+	// AvgDelayMs is the 5%-trimmed mean heartbeat delay across all slaves
+	// (raw, including clock offset — subtract a baseline for the paper's
+	// relative delay).
+	AvgDelayMs      float64
+	PerSlaveDelayMs []float64
+
+	// Utilizations over the steady window.
+	MasterUtil float64
+	SlaveUtil  []float64
+
+	// LatencyMsMean is the mean client-observed operation latency;
+	// WriteLatencyMsMean isolates writes (including the synchronization
+	// model's commit wait).
+	LatencyMsMean      float64
+	WriteLatencyMsMean float64
+
+	// MasterFallbacks counts reads served by the master (staleness-bounded
+	// balancer only).
+	MasterFallbacks uint64
+
+	// LagSeries samples each slave's events-behind-master every 15 virtual
+	// seconds across the whole run — the backlog growth curve behind
+	// Figs. 5/6.
+	LagSeries []*metrics.TimeSeries
+}
+
+// Run executes one experiment point on its own simulation environment.
+func Run(spec RunSpec) (RunResult, error) {
+	spec.applyDefaults()
+	env := sim.NewEnv(spec.Seed)
+
+	cloudCfg := cloud.DefaultConfig()
+	if !spec.Heterogeneous {
+		cloudCfg.CPUCoV = 0
+	}
+	c := cloud.New(env, cloudCfg)
+
+	cost := server.DefaultCostModel()
+	if spec.Cost != nil {
+		cost = *spec.Cost
+	}
+
+	preload := func(srv *server.DBServer) error {
+		if err := cloudstone.Preload(spec.Scale)(srv); err != nil {
+			return err
+		}
+		return heartbeat.Preload(srv)
+	}
+
+	slaveSpecs := make([]cluster.NodeSpec, spec.Slaves)
+	for i := range slaveSpecs {
+		slaveSpecs[i] = cluster.NodeSpec{Place: spec.Loc.SlavePlacement()}
+	}
+	clu, err := cluster.New(env, c, cluster.Config{
+		Mode:          spec.Mode,
+		Cost:          cost,
+		Master:        cluster.NodeSpec{Place: MasterPlacement},
+		Slaves:        slaveSpecs,
+		Preload:       preload,
+		PriorityApply: spec.PriorityApply,
+	})
+	if err != nil {
+		return RunResult{}, fmt.Errorf("experiment: %w", err)
+	}
+
+	// Every instance disciplines its clock with NTP against multiple time
+	// servers every second, the paper's recommended configuration.
+	for _, inst := range c.Instances() {
+		bias := time.Duration(env.Rand().NormFloat64() * float64(1650*time.Microsecond))
+		vclock.StartDaemon(env, inst.Name+"/ntp", inst.Clock, vclock.NTPConfig{
+			Interval:    time.Second,
+			Bias:        bias,
+			JitterSigma: 600 * time.Microsecond,
+			Servers:     4,
+		})
+	}
+
+	var balancer proxy.Balancer
+	if spec.Balancer != nil {
+		balancer = spec.Balancer()
+	}
+	db := core.Open(clu, core.Options{
+		Database:    cloudstone.DatabaseName,
+		ClientPlace: MasterPlacement,
+		Balancer:    balancer,
+		Pool:        pool.Config{MaxActive: spec.Users + 8, MaxIdle: spec.Users + 8},
+	})
+
+	hb := heartbeat.Start(env, clu.Master(), spec.HeartbeatInterval)
+
+	// Lag sampler: one series per slave.
+	var lagSeries []*metrics.TimeSeries
+	for _, sl := range clu.Slaves() {
+		lagSeries = append(lagSeries, metrics.NewTimeSeries(sl.Srv.Name))
+	}
+	env.Go("lag-sampler", func(p *sim.Proc) {
+		for {
+			for i, sl := range clu.Slaves() {
+				if i < len(lagSeries) {
+					lagSeries[i].Append(p.Now(), float64(sl.EventsBehindMaster()))
+				}
+			}
+			p.Sleep(15 * time.Second)
+		}
+	})
+
+	driver := cloudstone.NewDriver(db, cloudstone.Config{
+		Scale:     spec.Scale,
+		ReadRatio: spec.ReadRatio,
+		Users:     spec.Users,
+		RampUp:    spec.RampUp,
+		Steady:    spec.Steady,
+		RampDown:  spec.RampDown,
+	})
+	driver.Start(env)
+
+	steadyFrom, steadyTo := driver.SteadyWindow()
+	// Reset CPU accounting at the start of steady state and capture
+	// utilizations at its end.
+	env.Schedule(steadyFrom-env.Now(), func() {
+		for _, inst := range c.Instances() {
+			inst.CPU.ResetStats()
+		}
+	})
+	var masterUtil float64
+	var slaveUtil []float64
+	env.Schedule(steadyTo-env.Now(), func() {
+		masterUtil = clu.Master().Srv.Inst.Utilization()
+		for _, sl := range clu.Slaves() {
+			slaveUtil = append(slaveUtil, sl.Srv.Inst.Utilization())
+		}
+	})
+
+	total := spec.RampUp + spec.Steady + spec.RampDown
+	env.RunUntil(env.Now() + total)
+	hb.Stop()
+
+	// Let in-flight replication land so delay samples for steady-window
+	// heartbeats are complete (bounded grace, not unbounded catch-up).
+	env.RunUntil(env.Now() + 2*time.Minute)
+
+	res := RunResult{Spec: spec, MasterUtil: masterUtil, SlaveUtil: slaveUtil, LagSeries: lagSeries}
+	dres := driver.Result()
+	res.Throughput = dres.Throughput
+	res.ReadThroughput = dres.ReadThroughput
+	res.WriteThroughput = dres.WriteThroughput
+	res.Errors = dres.Errors
+	res.LatencyMsMean = dres.Latency.Mean
+	res.WriteLatencyMsMean = dres.WriteLatency.Mean
+	res.MasterFallbacks = db.Proxy().Stats().MasterFallbacks
+
+	ids := hb.IDsInWindow(steadyFrom, steadyTo)
+	if len(ids) > 0 {
+		var sum float64
+		for _, sl := range clu.Slaves() {
+			ms, err := heartbeat.AvgDelay(clu.Master(), sl, ids)
+			if err != nil {
+				// The slave applied none of the window's heartbeats: its
+				// delay is unbounded; report the elapsed time since the
+				// window midpoint as a lower bound.
+				ms = float64((env.Now() - (steadyFrom+steadyTo)/2).Milliseconds())
+			}
+			res.PerSlaveDelayMs = append(res.PerSlaveDelayMs, ms)
+			sum += ms
+		}
+		if len(res.PerSlaveDelayMs) > 0 {
+			res.AvgDelayMs = sum / float64(len(res.PerSlaveDelayMs))
+		}
+	}
+
+	env.Stop()
+	env.Shutdown()
+	return res, nil
+}

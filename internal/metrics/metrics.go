@@ -1,0 +1,183 @@
+// Package metrics provides the statistics used by the experiment harness:
+// summaries with two-sided trimming (the paper cuts the top and bottom 5%
+// of delay samples as network-fluctuation outliers), duration histograms
+// and simple time series.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Summary describes a sample set.
+type Summary struct {
+	N      int
+	Mean   float64
+	Median float64
+	StdDev float64
+	Min    float64
+	Max    float64
+	P95    float64
+	P99    float64
+}
+
+// Summarize computes a Summary of xs (xs is not modified).
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	var sum, sumsq float64
+	for _, v := range sorted {
+		sum += v
+		sumsq += v * v
+	}
+	n := float64(len(sorted))
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	return Summary{
+		N:      len(sorted),
+		Mean:   mean,
+		Median: quantileSorted(sorted, 0.5),
+		StdDev: math.Sqrt(variance),
+		Min:    sorted[0],
+		Max:    sorted[len(sorted)-1],
+		P95:    quantileSorted(sorted, 0.95),
+		P99:    quantileSorted(sorted, 0.99),
+	}
+}
+
+// quantileSorted returns the q-quantile of a sorted slice (nearest-rank).
+func quantileSorted(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+// Trim returns xs with the lowest and highest frac of samples removed
+// (frac per side, e.g. 0.05 cuts 5% at each end). The result is sorted.
+func Trim(xs []float64, frac float64) []float64 {
+	if len(xs) == 0 {
+		return nil
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	cut := int(float64(len(sorted)) * frac)
+	if 2*cut >= len(sorted) {
+		// Degenerate: keep the median.
+		return sorted[len(sorted)/2 : len(sorted)/2+1]
+	}
+	return sorted[cut : len(sorted)-cut]
+}
+
+// TrimmedMean is the mean after two-sided trimming — the paper's estimator
+// for average replication delay.
+func TrimmedMean(xs []float64, frac float64) float64 {
+	t := Trim(xs, frac)
+	if len(t) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range t {
+		sum += v
+	}
+	return sum / float64(len(t))
+}
+
+// Histogram collects durations.
+type Histogram struct {
+	samples []time.Duration
+}
+
+// Record adds one sample.
+func (h *Histogram) Record(d time.Duration) { h.samples = append(h.samples, d) }
+
+// N returns the sample count.
+func (h *Histogram) N() int { return len(h.samples) }
+
+// Samples returns the raw samples.
+func (h *Histogram) Samples() []time.Duration { return h.samples }
+
+// Float64s converts samples to milliseconds.
+func (h *Histogram) Float64s() []float64 {
+	out := make([]float64, len(h.samples))
+	for i, d := range h.samples {
+		out[i] = float64(d) / float64(time.Millisecond)
+	}
+	return out
+}
+
+// Summary summarizes the histogram in milliseconds.
+func (h *Histogram) Summary() Summary { return Summarize(h.Float64s()) }
+
+// Percentile returns the q-quantile sample.
+func (h *Histogram) Percentile(q float64) time.Duration {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), h.samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(q * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+// Reset discards all samples.
+func (h *Histogram) Reset() { h.samples = h.samples[:0] }
+
+// Point is one time-series observation.
+type Point struct {
+	T time.Duration
+	V float64
+}
+
+// TimeSeries is an append-only series of observations on the virtual
+// timeline.
+type TimeSeries struct {
+	Name   string
+	points []Point
+}
+
+// NewTimeSeries creates a named series.
+func NewTimeSeries(name string) *TimeSeries { return &TimeSeries{Name: name} }
+
+// Append records (t, v).
+func (ts *TimeSeries) Append(t time.Duration, v float64) {
+	ts.points = append(ts.points, Point{t, v})
+}
+
+// Points returns all observations.
+func (ts *TimeSeries) Points() []Point { return ts.points }
+
+// Values extracts the observation values.
+func (ts *TimeSeries) Values() []float64 {
+	out := make([]float64, len(ts.points))
+	for i, p := range ts.points {
+		out[i] = p.V
+	}
+	return out
+}
+
+// Between returns values observed in [from, to).
+func (ts *TimeSeries) Between(from, to time.Duration) []float64 {
+	var out []float64
+	for _, p := range ts.points {
+		if p.T >= from && p.T < to {
+			out = append(out, p.V)
+		}
+	}
+	return out
+}
+
+// String renders a compact summary.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.2f median=%.2f σ=%.2f min=%.2f max=%.2f p95=%.2f",
+		s.N, s.Mean, s.Median, s.StdDev, s.Min, s.Max, s.P95)
+}

@@ -1,0 +1,129 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Median != 3 || s.Min != 1 || s.Max != 5 {
+		t.Fatalf("summary: %+v", s)
+	}
+	want := math.Sqrt(2)
+	if math.Abs(s.StdDev-want) > 1e-9 {
+		t.Fatalf("stddev = %v, want %v", s.StdDev, want)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 || s.Mean != 0 {
+		t.Fatalf("empty summary: %+v", s)
+	}
+}
+
+func TestSummarizeDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Summarize(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("input mutated: %v", xs)
+	}
+}
+
+func TestTrimCutsBothTails(t *testing.T) {
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	trimmed := Trim(xs, 0.05)
+	if len(trimmed) != 90 {
+		t.Fatalf("trimmed length = %d, want 90", len(trimmed))
+	}
+	if trimmed[0] != 5 || trimmed[len(trimmed)-1] != 94 {
+		t.Fatalf("trim bounds: %v..%v", trimmed[0], trimmed[len(trimmed)-1])
+	}
+}
+
+func TestTrimmedMeanRobustToOutliers(t *testing.T) {
+	xs := []float64{10, 10, 10, 10, 10, 10, 10, 10, 10, 10,
+		10, 10, 10, 10, 10, 10, 10, 10, 1e9, -1e9}
+	got := TrimmedMean(xs, 0.05)
+	if math.Abs(got-10) > 1e-9 {
+		t.Fatalf("trimmed mean = %v, want 10 (outliers cut)", got)
+	}
+}
+
+func TestTrimDegenerate(t *testing.T) {
+	if got := Trim([]float64{5}, 0.5); len(got) != 1 || got[0] != 5 {
+		t.Fatalf("degenerate trim: %v", got)
+	}
+	if TrimmedMean(nil, 0.05) != 0 {
+		t.Fatal("empty trimmed mean should be 0")
+	}
+}
+
+// Property: the trimmed mean always lies within [min, max] of the input,
+// and trimming is monotone in length.
+func TestTrimProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := raw[:0:0]
+		for _, v := range raw {
+			// Keep magnitudes physical so summation cannot overflow.
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e12 {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		tm := TrimmedMean(xs, 0.05)
+		sorted := append([]float64(nil), xs...)
+		sort.Float64s(sorted)
+		return tm >= sorted[0]-1e-9 && tm <= sorted[len(sorted)-1]+1e-9 &&
+			len(Trim(xs, 0.05)) <= len(xs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 100; i++ {
+		h.Record(time.Duration(i) * time.Millisecond)
+	}
+	if h.N() != 100 {
+		t.Fatalf("N = %d", h.N())
+	}
+	if p := h.Percentile(0.5); p < 49*time.Millisecond || p > 52*time.Millisecond {
+		t.Fatalf("p50 = %v", p)
+	}
+	if p := h.Percentile(0.99); p < 98*time.Millisecond {
+		t.Fatalf("p99 = %v", p)
+	}
+	s := h.Summary()
+	if math.Abs(s.Mean-50.5) > 0.01 {
+		t.Fatalf("mean ms = %v", s.Mean)
+	}
+	h.Reset()
+	if h.N() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestTimeSeriesWindows(t *testing.T) {
+	ts := NewTimeSeries("x")
+	for i := 0; i < 10; i++ {
+		ts.Append(time.Duration(i)*time.Second, float64(i))
+	}
+	got := ts.Between(3*time.Second, 6*time.Second)
+	if len(got) != 3 || got[0] != 3 || got[2] != 5 {
+		t.Fatalf("window: %v", got)
+	}
+	if len(ts.Values()) != 10 || len(ts.Points()) != 10 {
+		t.Fatal("series accessors broken")
+	}
+}

@@ -1,0 +1,209 @@
+// Package pool implements a DBCP-style connection pool on the simulation
+// timeline: a bounded set of reusable connections with borrow/return
+// semantics, an optional wait timeout, and idle-capacity trimming. The
+// paper's customized Cloudstone uses exactly this component (Apache DBCP)
+// so that emulated users reuse connections instead of paying per-operation
+// connection setup.
+package pool
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"cloudrepl/internal/sim"
+)
+
+// ErrExhausted is returned when MaxWait elapses without a free connection.
+var ErrExhausted = errors.New("pool: exhausted (wait timeout)")
+
+// ErrClosed is returned by Borrow after Close.
+var ErrClosed = errors.New("pool: closed")
+
+// Config sizes the pool.
+type Config struct {
+	// MaxActive caps connections in existence (borrowed + idle). Borrow
+	// blocks when the cap is reached and nothing is idle.
+	MaxActive int
+	// MaxIdle caps connections kept after Return; surplus is closed.
+	MaxIdle int
+	// MaxWait bounds how long Borrow blocks (0 = wait forever).
+	MaxWait time.Duration
+	// BorrowCost is the CPU-free virtual latency of a pool checkout
+	// (lock handoff); usually 0.
+	BorrowCost time.Duration
+	// MaxIdleTime, when positive, closes idle connections that have not
+	// been borrowed for this long (DBCP's timed eviction). Requires
+	// StartEvictor.
+	MaxIdleTime time.Duration
+}
+
+// Stats counts pool activity.
+type Stats struct {
+	Created  uint64
+	Closed   uint64
+	Borrows  uint64
+	Returns  uint64
+	Waits    uint64 // borrows that had to block
+	Timeouts uint64
+}
+
+// Pool is a generic connection pool for any connection type.
+type Pool[T any] struct {
+	env     *sim.Env
+	cfg     Config
+	factory func() T
+	closer  func(T)
+
+	idle    []T
+	idleAt  []sim.Time // per-idle-entry return time, parallel to idle
+	active  int        // total connections out or idle
+	waiters *sim.Signal
+	closed  bool
+	stats   Stats
+}
+
+// New creates a pool. factory creates a connection; closer (optional)
+// disposes one.
+func New[T any](env *sim.Env, cfg Config, factory func() T, closer func(T)) *Pool[T] {
+	if cfg.MaxActive <= 0 {
+		panic(fmt.Sprintf("pool: MaxActive must be positive, got %d", cfg.MaxActive))
+	}
+	if cfg.MaxIdle < 0 || cfg.MaxIdle > cfg.MaxActive {
+		cfg.MaxIdle = cfg.MaxActive
+	}
+	if closer == nil {
+		closer = func(T) {}
+	}
+	return &Pool[T]{env: env, cfg: cfg, factory: factory, closer: closer, waiters: sim.NewSignal(env)}
+}
+
+// Stats returns a snapshot of the counters.
+func (pl *Pool[T]) Stats() Stats { return pl.stats }
+
+// Active returns connections currently in existence.
+func (pl *Pool[T]) Active() int { return pl.active }
+
+// Idle returns connections currently idle in the pool.
+func (pl *Pool[T]) Idle() int { return len(pl.idle) }
+
+// Borrow checks out a connection, creating one if under MaxActive, else
+// blocking until a Return or until MaxWait elapses.
+func (pl *Pool[T]) Borrow(p *sim.Proc) (T, error) {
+	var zero T
+	if pl.cfg.BorrowCost > 0 {
+		p.Sleep(pl.cfg.BorrowCost)
+	}
+	deadline := sim.Time(-1)
+	if pl.cfg.MaxWait > 0 {
+		deadline = p.Now() + pl.cfg.MaxWait
+	}
+	for {
+		if pl.closed {
+			return zero, ErrClosed
+		}
+		if n := len(pl.idle); n > 0 {
+			c := pl.idle[n-1]
+			pl.idle = pl.idle[:n-1]
+			pl.idleAt = pl.idleAt[:n-1]
+			pl.stats.Borrows++
+			return c, nil
+		}
+		if pl.active < pl.cfg.MaxActive {
+			pl.active++
+			pl.stats.Created++
+			pl.stats.Borrows++
+			return pl.factory(), nil
+		}
+		pl.stats.Waits++
+		if deadline >= 0 {
+			remain := deadline - p.Now()
+			if remain <= 0 || !pl.waiters.WaitTimeout(p, remain) {
+				pl.stats.Timeouts++
+				return zero, ErrExhausted
+			}
+		} else {
+			pl.waiters.Wait(p)
+		}
+	}
+}
+
+// Return checks a connection back in. Surplus beyond MaxIdle is closed.
+func (pl *Pool[T]) Return(c T) {
+	pl.stats.Returns++
+	if pl.closed || len(pl.idle) >= pl.cfg.MaxIdle {
+		pl.active--
+		pl.stats.Closed++
+		pl.closer(c)
+		pl.waiters.Broadcast() // capacity freed
+		return
+	}
+	pl.idle = append(pl.idle, c)
+	pl.idleAt = append(pl.idleAt, pl.env.Now())
+	pl.waiters.Broadcast()
+}
+
+// Discard drops a borrowed connection without reuse (e.g. after an error).
+func (pl *Pool[T]) Discard(c T) {
+	pl.active--
+	pl.stats.Closed++
+	pl.closer(c)
+	pl.waiters.Broadcast()
+}
+
+// Close closes idle connections and fails future Borrows. Outstanding
+// connections are closed as they are returned.
+func (pl *Pool[T]) Close() {
+	if pl.closed {
+		return
+	}
+	pl.closed = true
+	for _, c := range pl.idle {
+		pl.active--
+		pl.stats.Closed++
+		pl.closer(c)
+	}
+	pl.idle = nil
+	pl.idleAt = nil
+	pl.waiters.Broadcast()
+}
+
+// EvictIdle closes idle connections unused for at least cfg.MaxIdleTime.
+// It returns the number evicted.
+func (pl *Pool[T]) EvictIdle() int {
+	if pl.cfg.MaxIdleTime <= 0 {
+		return 0
+	}
+	cutoff := pl.env.Now() - pl.cfg.MaxIdleTime
+	kept := pl.idle[:0]
+	keptAt := pl.idleAt[:0]
+	evicted := 0
+	for i, c := range pl.idle {
+		if pl.idleAt[i] <= cutoff {
+			pl.active--
+			pl.stats.Closed++
+			pl.closer(c)
+			evicted++
+			continue
+		}
+		kept = append(kept, c)
+		keptAt = append(keptAt, pl.idleAt[i])
+	}
+	pl.idle = kept
+	pl.idleAt = keptAt
+	if evicted > 0 {
+		pl.waiters.Broadcast()
+	}
+	return evicted
+}
+
+// StartEvictor launches a background process that runs EvictIdle every
+// interval — DBCP's evictor thread. It stops when the pool closes.
+func (pl *Pool[T]) StartEvictor(env *sim.Env, interval time.Duration) {
+	env.Go("pool-evictor", func(p *sim.Proc) {
+		for !pl.closed {
+			p.Sleep(interval)
+			pl.EvictIdle()
+		}
+	})
+}

@@ -1,0 +1,336 @@
+// Package proxy implements a read/write-splitting database proxy in the
+// style of MySQL Connector/J's load-balancing driver, the routing component
+// of the paper's customized Cloudstone stack: every write statement goes to
+// the master, every read is distributed over the slave replicas by a
+// pluggable balancer. A staleness-bounded balancer (the paper's suggested
+// "smart load balancer" future work) is included.
+package proxy
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"time"
+
+	"cloudrepl/internal/cloud"
+	"cloudrepl/internal/repl"
+	"cloudrepl/internal/server"
+	"cloudrepl/internal/sim"
+	"cloudrepl/internal/sqlengine"
+)
+
+// ErrNoBackend is returned when no live server can serve the statement.
+var ErrNoBackend = errors.New("proxy: no live backend available")
+
+// PickContext is what a Balancer sees when routing one read.
+type PickContext struct {
+	Master   *repl.Master
+	Slaves   []*repl.Slave // live, attached slaves
+	Inflight func(*repl.Slave) int
+	Rng      *rand.Rand
+}
+
+// Balancer chooses a slave for a read statement. Returning nil routes the
+// read to the master (the fallback when no slave qualifies).
+type Balancer interface {
+	Pick(ctx *PickContext) *repl.Slave
+	Name() string
+}
+
+// RoundRobin cycles through slaves — the Connector/J default.
+type RoundRobin struct{ next int }
+
+// Pick implements Balancer.
+func (b *RoundRobin) Pick(ctx *PickContext) *repl.Slave {
+	if len(ctx.Slaves) == 0 {
+		return nil
+	}
+	sl := ctx.Slaves[b.next%len(ctx.Slaves)]
+	b.next++
+	return sl
+}
+
+// Name implements Balancer.
+func (b *RoundRobin) Name() string { return "round-robin" }
+
+// Random picks a slave uniformly at random.
+type Random struct{}
+
+// Pick implements Balancer.
+func (Random) Pick(ctx *PickContext) *repl.Slave {
+	if len(ctx.Slaves) == 0 {
+		return nil
+	}
+	return ctx.Slaves[ctx.Rng.Intn(len(ctx.Slaves))]
+}
+
+// Name implements Balancer.
+func (Random) Name() string { return "random" }
+
+// LeastConn picks the slave with the fewest in-flight statements from this
+// proxy.
+type LeastConn struct{}
+
+// Pick implements Balancer.
+func (LeastConn) Pick(ctx *PickContext) *repl.Slave {
+	var best *repl.Slave
+	bestN := int(^uint(0) >> 1)
+	for _, sl := range ctx.Slaves {
+		if n := ctx.Inflight(sl); n < bestN {
+			best, bestN = sl, n
+		}
+	}
+	return best
+}
+
+// Name implements Balancer.
+func (LeastConn) Name() string { return "least-conn" }
+
+// LeastLag picks the slave fewest binlog events behind the master.
+type LeastLag struct{}
+
+// Pick implements Balancer.
+func (LeastLag) Pick(ctx *PickContext) *repl.Slave {
+	var best *repl.Slave
+	bestLag := uint64(1<<63 - 1)
+	for _, sl := range ctx.Slaves {
+		if lag := sl.EventsBehindMaster(); lag < bestLag {
+			best, bestLag = sl, lag
+		}
+	}
+	return best
+}
+
+// Name implements Balancer.
+func (LeastLag) Name() string { return "least-lag" }
+
+// StalenessBounded serves reads only from slaves within MaxEventsBehind of
+// the master, round-robin among them; when none qualify the read falls back
+// to the master — bounding the client-visible staleness window at the cost
+// of master load. This is the "smart load balancer" the paper's §IV-B
+// suggests for geo-replication.
+type StalenessBounded struct {
+	MaxEventsBehind uint64
+	next            int
+}
+
+// Pick implements Balancer.
+func (b *StalenessBounded) Pick(ctx *PickContext) *repl.Slave {
+	var fresh []*repl.Slave
+	for _, sl := range ctx.Slaves {
+		if sl.EventsBehindMaster() <= b.MaxEventsBehind {
+			fresh = append(fresh, sl)
+		}
+	}
+	if len(fresh) == 0 {
+		return nil // master fallback
+	}
+	sl := fresh[b.next%len(fresh)]
+	b.next++
+	return sl
+}
+
+// Name implements Balancer.
+func (b *StalenessBounded) Name() string { return "staleness-bounded" }
+
+// Stats counts proxy routing decisions.
+type Stats struct {
+	Reads           uint64
+	Writes          uint64
+	MasterFallbacks uint64 // reads served by the master
+	Errors          uint64
+}
+
+// Proxy routes statements from a client placement to a replicated cluster.
+type Proxy struct {
+	env      *sim.Env
+	net      *cloud.Network
+	master   *repl.Master
+	balancer Balancer
+	client   cloud.Placement
+
+	// ReadYourWrites enables session consistency: after a connection
+	// writes, its reads are only served by slaves that have applied that
+	// write (falling back to the master when none has) — so a user always
+	// sees their own updates without bounding global staleness.
+	ReadYourWrites bool
+
+	inflight map[*repl.Slave]int
+	stats    Stats
+}
+
+// New creates a proxy for clients at clientPlace.
+func New(env *sim.Env, net *cloud.Network, master *repl.Master, clientPlace cloud.Placement, balancer Balancer) *Proxy {
+	if balancer == nil {
+		balancer = &RoundRobin{}
+	}
+	return &Proxy{
+		env: env, net: net, master: master, balancer: balancer,
+		client: clientPlace, inflight: make(map[*repl.Slave]int),
+	}
+}
+
+// Stats returns a snapshot of the routing counters.
+func (px *Proxy) Stats() Stats { return px.stats }
+
+// Balancer returns the active balancer.
+func (px *Proxy) Balancer() Balancer { return px.balancer }
+
+// Master returns the routed master.
+func (px *Proxy) Master() *repl.Master { return px.master }
+
+// SetMaster re-points the proxy after a failover.
+func (px *Proxy) SetMaster(m *repl.Master) { px.master = m }
+
+// IsRead classifies a statement the way Connector/J does: by its verb.
+func IsRead(sql string) bool {
+	s := strings.TrimSpace(sql)
+	if len(s) < 6 {
+		return false
+	}
+	return strings.EqualFold(s[:6], "SELECT")
+}
+
+// Conn is one pooled client connection: lazily-opened sessions against each
+// backend server it has touched. Sessions are keyed by server identity so a
+// failover (the proxy re-pointing to a promoted master) never reuses a
+// session bound to the dead server's engine.
+type Conn struct {
+	px   *Proxy
+	db   string
+	sess map[*server.DBServer]*sqlengine.Session
+
+	// lastWriteSeq is the master binlog position after this connection's
+	// most recent write; the read-your-writes watermark.
+	lastWriteSeq uint64
+}
+
+// Connect opens a connection with the given default database.
+func (px *Proxy) Connect(db string) *Conn {
+	return &Conn{px: px, db: db, sess: make(map[*server.DBServer]*sqlengine.Session)}
+}
+
+// ExecResult is a routed statement's outcome.
+type ExecResult struct {
+	Result *sqlengine.Result
+	// OnMaster reports where the statement ran.
+	OnMaster bool
+	// Degraded reports a semi-sync commit that timed out to async.
+	Degraded bool
+	// Latency is the client-observed round-trip.
+	Latency time.Duration
+}
+
+// Exec routes and executes one statement, blocking the calling process for
+// the network round trip, queueing and service time. Write statements also
+// honor the cluster's synchronization model before returning.
+func (c *Conn) Exec(p *sim.Proc, sql string, args ...sqlengine.Value) (*ExecResult, error) {
+	start := p.Now()
+	px := c.px
+	if IsRead(sql) {
+		px.stats.Reads++
+		candidates := liveSlaves(px.master)
+		if px.ReadYourWrites && c.lastWriteSeq > 0 {
+			fresh := candidates[:0:0]
+			for _, sl := range candidates {
+				if sl.AppliedSeq() >= c.lastWriteSeq {
+					fresh = append(fresh, sl)
+				}
+			}
+			candidates = fresh // empty → master fallback below
+		}
+		sl := px.balancer.Pick(&PickContext{
+			Master:   px.master,
+			Slaves:   candidates,
+			Inflight: func(s *repl.Slave) int { return px.inflight[s] },
+			Rng:      p.Rand(),
+		})
+		if sl == nil {
+			// Master fallback (no slaves, or none fresh enough).
+			if !px.master.Srv.Up() {
+				px.stats.Errors++
+				return nil, ErrNoBackend
+			}
+			px.stats.MasterFallbacks++
+			res, err := c.execOn(p, nil, sql, args)
+			if err != nil {
+				return nil, err
+			}
+			return &ExecResult{Result: res, OnMaster: true, Latency: p.Now() - start}, nil
+		}
+		px.inflight[sl]++
+		res, err := c.execOn(p, sl, sql, args)
+		px.inflight[sl]--
+		if err != nil {
+			px.stats.Errors++
+			return nil, err
+		}
+		return &ExecResult{Result: res, Latency: p.Now() - start}, nil
+	}
+
+	px.stats.Writes++
+	if !px.master.Srv.Up() {
+		px.stats.Errors++
+		return nil, ErrNoBackend
+	}
+	res, err := c.execOn(p, nil, sql, args)
+	if err != nil {
+		px.stats.Errors++
+		return nil, err
+	}
+	degraded := false
+	if res.Stats.Class == sqlengine.ClassWrite {
+		c.lastWriteSeq = px.master.Srv.Log.LastSeq()
+		degraded = !px.master.WaitCommitted(p, c.lastWriteSeq)
+	}
+	return &ExecResult{Result: res, OnMaster: true, Degraded: degraded, Latency: p.Now() - start}, nil
+}
+
+// Query is Exec returning the result set.
+func (c *Conn) Query(p *sim.Proc, sql string, args ...sqlengine.Value) (*sqlengine.ResultSet, error) {
+	res, err := c.Exec(p, sql, args...)
+	if err != nil {
+		return nil, err
+	}
+	if res.Result.Set == nil {
+		return nil, errors.New("proxy: statement returned no result set")
+	}
+	return res.Result.Set, nil
+}
+
+// execOn runs sql on the chosen backend (nil = master) with network legs.
+func (c *Conn) execOn(p *sim.Proc, sl *repl.Slave, sql string, args []sqlengine.Value) (*sqlengine.Result, error) {
+	px := c.px
+	srv := px.master.Srv
+	if sl != nil {
+		srv = sl.Srv
+	}
+	sess := c.sess[srv]
+	if sess == nil {
+		sess = srv.Session(c.db)
+		c.sess[srv] = sess
+	}
+	px.net.Transit(p, px.client, srv.Inst.Place)
+	// The backend can die while the request is on the wire.
+	if !srv.Up() {
+		return nil, ErrNoBackend
+	}
+	res, err := srv.Exec(p, sess, sql, args...)
+	if err != nil {
+		return nil, err
+	}
+	px.net.Transit(p, srv.Inst.Place, px.client)
+	return res, nil
+}
+
+// liveSlaves filters the master's attached slaves to running instances.
+func liveSlaves(m *repl.Master) []*repl.Slave {
+	slaves := m.Slaves()
+	out := slaves[:0:0]
+	for _, sl := range slaves {
+		if sl.Srv.Up() {
+			out = append(out, sl)
+		}
+	}
+	return out
+}

@@ -1,0 +1,294 @@
+// Package repl implements MySQL-style master-slave replication on top of
+// the server, binlog and cloud packages.
+//
+// Per attached slave, the master runs a dump thread that tails the binlog
+// and ships events over the (simulated) network in order. Each slave runs
+// an I/O thread that appends received events to a relay log, and a single
+// SQL applier thread that re-executes them against the slave's engine —
+// competing with read traffic for the slave instance's CPU, which is the
+// mechanism behind the paper's replication-delay blow-up near saturation.
+//
+// Three synchronization models are provided (§II of the paper): Async
+// returns to the writer immediately after the master commit; SemiSync waits
+// until at least one slave's I/O thread has the event in its relay log;
+// Sync waits until every attached slave has applied the event.
+package repl
+
+import (
+	"time"
+
+	"cloudrepl/internal/binlog"
+	"cloudrepl/internal/cloud"
+	"cloudrepl/internal/server"
+	"cloudrepl/internal/sim"
+)
+
+// Mode selects the synchronization model.
+type Mode uint8
+
+// Synchronization models.
+const (
+	Async Mode = iota
+	SemiSync
+	Sync
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Async:
+		return "async"
+	case SemiSync:
+		return "semi-sync"
+	default:
+		return "sync"
+	}
+}
+
+// Master wraps a DBServer with replication state.
+type Master struct {
+	Srv  *server.DBServer
+	Net  *cloud.Network
+	Mode Mode
+	// SemiSyncTimeout bounds the wait for a receipt acknowledgement before
+	// degrading to asynchronous for that commit (MySQL's rpl_semi_sync
+	// behaviour). Zero means wait forever.
+	SemiSyncTimeout time.Duration
+
+	env      *sim.Env
+	slaves   []*Slave
+	ackCh    *sim.Signal // broadcast whenever any slave ack arrives
+	detached map[*Slave]bool
+}
+
+// NewMaster creates a replication master around srv.
+func NewMaster(env *sim.Env, srv *server.DBServer, net *cloud.Network, mode Mode) *Master {
+	return &Master{
+		Srv: srv, Net: net, Mode: mode,
+		env: env, ackCh: sim.NewSignal(env), detached: make(map[*Slave]bool),
+	}
+}
+
+// Slaves returns the attached slaves.
+func (m *Master) Slaves() []*Slave {
+	out := make([]*Slave, 0, len(m.slaves))
+	for _, sl := range m.slaves {
+		if !m.detached[sl] {
+			out = append(out, sl)
+		}
+	}
+	return out
+}
+
+// ack is a slave acknowledgement message.
+type ack struct {
+	slave   *Slave
+	seq     uint64
+	applied bool // false = relay-log receipt, true = applied
+}
+
+// Slave is a replica server with its replication threads.
+type Slave struct {
+	Srv *server.DBServer
+
+	master *Master
+	io     *sim.Queue[binlog.Entry] // network delivery → I/O thread
+	relay  *sim.Queue[binlog.Entry] // relay log → SQL thread
+
+	receivedSeq uint64 // newest seq in relay log
+	appliedSeq  uint64 // newest seq applied
+	appliedTs   int64  // master timestamp of newest applied event
+	appliedAt   sim.Time
+	applyErrs   int
+	stopped     bool
+
+	// Master-side acknowledgement high-water marks.
+	masterAckReceipt uint64
+	masterAckApplied uint64
+}
+
+// NewSlave wraps srv as a replica.
+func NewSlave(env *sim.Env, srv *server.DBServer) *Slave {
+	return &Slave{
+		Srv:   srv,
+		io:    sim.NewQueue[binlog.Entry](env, srv.Name+"/io"),
+		relay: sim.NewQueue[binlog.Entry](env, srv.Name+"/relay"),
+	}
+}
+
+// ReceivedSeq returns the newest sequence in the relay log.
+func (s *Slave) ReceivedSeq() uint64 { return s.receivedSeq }
+
+// AppliedSeq returns the newest applied sequence.
+func (s *Slave) AppliedSeq() uint64 { return s.appliedSeq }
+
+// ApplyErrors returns the count of statements that failed to re-execute.
+func (s *Slave) ApplyErrors() int { return s.applyErrs }
+
+// RelayBacklog returns the number of received-but-unapplied events.
+func (s *Slave) RelayBacklog() int { return s.relay.Len() }
+
+// EventsBehindMaster reports replication lag as the master's binlog
+// position minus this slave's applied position.
+func (s *Slave) EventsBehindMaster() uint64 {
+	if s.master == nil {
+		return 0
+	}
+	last := s.master.Srv.Log.LastSeq()
+	if last <= s.appliedSeq {
+		return 0
+	}
+	return last - s.appliedSeq
+}
+
+// LastApplied returns the master timestamp (µs) carried by the newest
+// applied event and the virtual time it was applied here — the raw
+// material of MySQL's Seconds_Behind_Master estimate.
+func (s *Slave) LastApplied() (masterTsMicros int64, appliedAt sim.Time) {
+	return s.appliedTs, s.appliedAt
+}
+
+// Stop halts the slave's replication threads after their current event.
+func (s *Slave) Stop() {
+	s.stopped = true
+	s.io.Close()
+	s.relay.Close()
+}
+
+// Attach connects sl to the master, starting the master-side dump thread
+// and the slave-side I/O and SQL threads. Replication begins after binlog
+// position startPos (use the master's current LastSeq for a freshly
+// synchronized replica).
+func (m *Master) Attach(sl *Slave, startPos uint64) {
+	sl.master = m
+	sl.receivedSeq = startPos
+	sl.appliedSeq = startPos
+	m.slaves = append(m.slaves, sl)
+
+	pipe := cloud.NewPipe(m.Net, m.Srv.Inst.Place, sl.Srv.Inst.Place, sl.io)
+	ackPipe := func(a ack) {
+		// Acks ride the reverse path; ordering between acks is irrelevant.
+		m.env.Schedule(m.Net.OneWay(sl.Srv.Inst.Place, m.Srv.Inst.Place), func() {
+			m.deliverAck(a)
+		})
+	}
+
+	reader := m.Srv.Log.NewReader(startPos)
+	m.env.Go(m.Srv.Name+"/dump→"+sl.Srv.Name, func(p *sim.Proc) {
+		for !sl.stopped && m.Srv.Up() {
+			e := reader.Next(p)
+			// The master may have died or the slave detached while the
+			// reader was blocked at the log tail.
+			if sl.stopped || !m.Srv.Up() {
+				return
+			}
+			m.Srv.DumpWork(p)
+			pipe.Send(e)
+		}
+	})
+
+	m.env.Go(sl.Srv.Name+"/io", func(p *sim.Proc) {
+		for {
+			e, ok := sl.io.Get(p)
+			if !ok {
+				return
+			}
+			sl.Srv.RelayWork(p)
+			sl.receivedSeq = e.Seq
+			sl.relay.Put(e)
+			if m.Mode == SemiSync {
+				ackPipe(ack{slave: sl, seq: e.Seq, applied: false})
+			}
+		}
+	})
+
+	sess := sl.Srv.Session("")
+	m.env.Go(sl.Srv.Name+"/sql", func(p *sim.Proc) {
+		for {
+			e, ok := sl.relay.Get(p)
+			if !ok {
+				return
+			}
+			if err := sl.Srv.Apply(p, sess, e); err != nil {
+				sl.applyErrs++
+			}
+			sl.appliedSeq = e.Seq
+			sl.appliedTs = e.TimestampMicros
+			sl.appliedAt = p.Now()
+			if m.Mode == Sync {
+				ackPipe(ack{slave: sl, seq: e.Seq, applied: true})
+			}
+		}
+	})
+}
+
+// Detach removes a slave from the replication topology and stops its
+// threads.
+func (m *Master) Detach(sl *Slave) {
+	m.detached[sl] = true
+	sl.Stop()
+	m.ackCh.Broadcast() // unblock sync waiters that counted this slave
+}
+
+// ackedReceipt / ackedApply track per-slave acknowledgement high-water
+// marks on the master side.
+func (m *Master) deliverAck(a ack) {
+	if a.applied {
+		if a.seq > a.slave.masterAckApplied {
+			a.slave.masterAckApplied = a.seq
+		}
+	} else {
+		if a.seq > a.slave.masterAckReceipt {
+			a.slave.masterAckReceipt = a.seq
+		}
+	}
+	m.ackCh.Broadcast()
+}
+
+// WaitCommitted blocks the calling process until the synchronization model
+// considers binlog position seq committed: immediately for Async, first
+// relay-log receipt for SemiSync (degrading to async after the timeout),
+// all slaves applied for Sync. It reports whether the wait fully satisfied
+// the model (false = semi-sync timeout degradation).
+func (m *Master) WaitCommitted(p *sim.Proc, seq uint64) bool {
+	switch m.Mode {
+	case Async:
+		return true
+	case SemiSync:
+		deadline := sim.MaxTime
+		if m.SemiSyncTimeout > 0 {
+			deadline = p.Now() + m.SemiSyncTimeout
+		}
+		for {
+			for _, sl := range m.Slaves() {
+				if sl.masterAckReceipt >= seq {
+					return true
+				}
+			}
+			if len(m.Slaves()) == 0 {
+				return false
+			}
+			if m.SemiSyncTimeout > 0 {
+				remain := deadline - p.Now()
+				if remain <= 0 || !m.ackCh.WaitTimeout(p, remain) {
+					return false
+				}
+			} else {
+				m.ackCh.Wait(p)
+			}
+		}
+	default: // Sync
+		for {
+			all := true
+			for _, sl := range m.Slaves() {
+				if sl.masterAckApplied < seq {
+					all = false
+					break
+				}
+			}
+			if all {
+				return true
+			}
+			m.ackCh.Wait(p)
+		}
+	}
+}

@@ -1,0 +1,218 @@
+// Package server binds a sqlengine to a cloud instance: statements execute
+// logically instantly but charge virtual CPU time derived from their
+// execution statistics, queueing FIFO on the instance's vCPUs. Committed
+// writes are appended to the server's binlog stamped with the instance's
+// local (drifting) clock — the master side of statement-based replication.
+package server
+
+import (
+	"errors"
+	"time"
+
+	"cloudrepl/internal/binlog"
+	"cloudrepl/internal/cloud"
+	"cloudrepl/internal/sim"
+	"cloudrepl/internal/sqlengine"
+)
+
+// CostModel converts execution statistics into nominal CPU time on the
+// reference core. Defaults are calibrated so that the Cloudstone workload
+// saturates replicas the way the paper's m1.small instances did (§IV-A).
+type CostModel struct {
+	// ReadBase is the fixed cost of any SELECT.
+	ReadBase time.Duration
+	// PerRowExamined is added for every row visited by scans and lookups.
+	PerRowExamined time.Duration
+	// WriteBase is the fixed cost of any INSERT/UPDATE/DELETE on a master.
+	WriteBase time.Duration
+	// PerRowAffected is added for every row mutated.
+	PerRowAffected time.Duration
+	// DDLBase is the fixed cost of DDL statements.
+	DDLBase time.Duration
+	// ApplyFactor scales a write's cost when re-executed by a slave's SQL
+	// thread (no client/connection handling, no binlog fsync).
+	ApplyFactor float64
+	// DumpPerEvent is the master CPU spent by each dump thread per binlog
+	// event shipped to a slave.
+	DumpPerEvent time.Duration
+	// RelayPerEvent is the slave CPU spent by the I/O thread per event
+	// written to the relay log.
+	RelayPerEvent time.Duration
+}
+
+// DefaultCostModel returns the calibrated model (see DESIGN.md §5).
+func DefaultCostModel() CostModel {
+	return CostModel{
+		ReadBase:       95 * time.Millisecond,
+		PerRowExamined: 150 * time.Microsecond,
+		WriteBase:      82 * time.Millisecond,
+		PerRowAffected: 2 * time.Millisecond,
+		DDLBase:        20 * time.Millisecond,
+		ApplyFactor:    0.5,
+		DumpPerEvent:   1200 * time.Microsecond,
+		RelayPerEvent:  300 * time.Microsecond,
+	}
+}
+
+// StatementCost returns the nominal CPU time for a statement with the given
+// stats executed in the given role.
+func (c CostModel) StatementCost(stats sqlengine.ExecStats, applied bool) time.Duration {
+	var d time.Duration
+	switch stats.Class {
+	case sqlengine.ClassRead:
+		d = c.ReadBase + time.Duration(stats.RowsExamined)*c.PerRowExamined
+	case sqlengine.ClassWrite:
+		d = c.WriteBase +
+			time.Duration(stats.RowsExamined)*c.PerRowExamined +
+			time.Duration(stats.RowsAffected)*c.PerRowAffected
+	case sqlengine.ClassDDL:
+		d = c.DDLBase
+	default:
+		return 0
+	}
+	if applied {
+		d = time.Duration(float64(d) * c.ApplyFactor)
+	}
+	return d
+}
+
+// ErrServerDown is returned when a statement reaches a server whose
+// instance has been terminated (e.g. a race between scale-in and an
+// in-flight request).
+var ErrServerDown = errors.New("server: instance is down")
+
+// Stats aggregates the server's statement counters.
+type Stats struct {
+	Reads   uint64
+	Writes  uint64
+	Applied uint64
+	DDL     uint64
+}
+
+// DBServer is a database process on a cloud instance.
+type DBServer struct {
+	Name string
+	Inst *cloud.Instance
+	Eng  *sqlengine.Engine
+	Log  *binlog.Log
+	Cost CostModel
+	// PriorityApply schedules replication-apply CPU at high priority so
+	// the SQL thread never starves behind client reads (an operator
+	// mitigation for the staleness blow-up; ablation A-PRIO).
+	PriorityApply bool
+
+	env   *sim.Env
+	stats Stats
+}
+
+// New creates a database server on inst with statement-based logging. Time
+// builtins read the instance's local clock; committed writes are appended
+// to the binlog stamped with that same clock.
+func New(env *sim.Env, name string, inst *cloud.Instance, cost CostModel) *DBServer {
+	s := &DBServer{
+		Name: name,
+		Inst: inst,
+		Eng:  sqlengine.NewEngine(),
+		Log:  binlog.New(env),
+		Cost: cost,
+		env:  env,
+	}
+	s.Eng.NowMicros = func() int64 { return inst.Clock.NowMicros() }
+	// s.Eng.Format stays FormatStatement unless SetRowFormat is called.
+	s.Eng.OnCommit = func(db string, sqls []string) {
+		ts := inst.Clock.NowMicros()
+		for _, sql := range sqls {
+			s.Log.Append(db, sql, ts)
+		}
+	}
+	return s
+}
+
+// SetRowFormat switches the server's binlog to row-based logging (MySQL
+// RBR): committed writes replicate as literal per-row images instead of
+// the original statement text, so time builtins are fixed at the master
+// rather than re-evaluated on each replica.
+func (s *DBServer) SetRowFormat() { s.Eng.Format = sqlengine.FormatRow }
+
+// Env returns the simulation environment.
+func (s *DBServer) Env() *sim.Env { return s.env }
+
+// Up reports whether the backing instance is running.
+func (s *DBServer) Up() bool { return s.Inst.Up() }
+
+// Stats returns a snapshot of the statement counters.
+func (s *DBServer) Stats() Stats { return s.stats }
+
+// Session opens an engine session with the given default database.
+func (s *DBServer) Session(db string) *sqlengine.Session { return s.Eng.NewSession(db) }
+
+// Exec executes a statement on behalf of a client session, charging the
+// instance's CPU according to the cost model. It must be called from a
+// simulation process.
+func (s *DBServer) Exec(p *sim.Proc, sess *sqlengine.Session, sql string, args ...sqlengine.Value) (*sqlengine.Result, error) {
+	if !s.Up() {
+		return nil, ErrServerDown
+	}
+	res, err := sess.Exec(sql, args...)
+	if err != nil {
+		return nil, err
+	}
+	switch res.Stats.Class {
+	case sqlengine.ClassRead:
+		s.stats.Reads++
+	case sqlengine.ClassWrite:
+		s.stats.Writes++
+	case sqlengine.ClassDDL:
+		s.stats.DDL++
+	}
+	s.Inst.Work(p, s.Cost.StatementCost(res.Stats, false))
+	return res, nil
+}
+
+// ExecFree executes a statement without charging CPU — used by loaders that
+// pre-populate databases before an experiment's clock starts.
+func (s *DBServer) ExecFree(sess *sqlengine.Session, sql string, args ...sqlengine.Value) (*sqlengine.Result, error) {
+	return sess.Exec(sql, args...)
+}
+
+// Apply re-executes a replicated statement on this server (the slave SQL
+// thread path): time builtins re-evaluate against this instance's clock,
+// and CPU is charged at the apply rate.
+func (s *DBServer) Apply(p *sim.Proc, sess *sqlengine.Session, e binlog.Entry) error {
+	if !s.Up() {
+		return ErrServerDown
+	}
+	if e.Database != "" && sess.DB() != e.Database {
+		if _, err := sess.Exec("USE " + e.Database); err != nil {
+			return err
+		}
+	}
+	res, err := sess.Exec(e.SQL)
+	if err != nil {
+		return err
+	}
+	s.stats.Applied++
+	cost := s.Cost.StatementCost(res.Stats, true)
+	if s.PriorityApply {
+		s.Inst.WorkHigh(p, cost)
+	} else {
+		s.Inst.Work(p, cost)
+	}
+	return nil
+}
+
+// DumpWork charges the master CPU for shipping one binlog event to a slave.
+func (s *DBServer) DumpWork(p *sim.Proc) {
+	s.Inst.Work(p, s.Cost.DumpPerEvent)
+}
+
+// RelayWork charges the slave CPU for persisting one event to its relay
+// log. PriorityApply covers the whole replication pipeline, so the I/O
+// thread is prioritized together with the SQL thread.
+func (s *DBServer) RelayWork(p *sim.Proc) {
+	if s.PriorityApply {
+		s.Inst.WorkHigh(p, s.Cost.RelayPerEvent)
+		return
+	}
+	s.Inst.Work(p, s.Cost.RelayPerEvent)
+}

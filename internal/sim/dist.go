@@ -1,0 +1,73 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Exp draws an exponentially distributed duration with the given mean.
+// It is the canonical think-time and inter-arrival distribution.
+func Exp(rng *rand.Rand, mean time.Duration) time.Duration {
+	if mean <= 0 {
+		return 0
+	}
+	return time.Duration(rng.ExpFloat64() * float64(mean))
+}
+
+// Normal draws a normally distributed duration, truncated at zero.
+func Normal(rng *rand.Rand, mean, stddev time.Duration) time.Duration {
+	d := time.Duration(rng.NormFloat64()*float64(stddev)) + mean
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// LogNormal draws a log-normally distributed duration parameterized by the
+// desired median and the σ of the underlying normal. Network jitter tails
+// are modeled with this distribution.
+func LogNormal(rng *rand.Rand, median time.Duration, sigma float64) time.Duration {
+	if median <= 0 {
+		return 0
+	}
+	return time.Duration(float64(median) * math.Exp(rng.NormFloat64()*sigma))
+}
+
+// Uniform draws a uniformly distributed duration in [lo, hi).
+func Uniform(rng *rand.Rand, lo, hi time.Duration) time.Duration {
+	if hi <= lo {
+		return lo
+	}
+	return lo + time.Duration(rng.Int63n(int64(hi-lo)))
+}
+
+// Jitter returns d scaled by a uniform factor in [1-f, 1+f]. f is clamped to
+// [0, 1).
+func Jitter(rng *rand.Rand, d time.Duration, f float64) time.Duration {
+	if f <= 0 {
+		return d
+	}
+	if f >= 1 {
+		f = 0.999
+	}
+	scale := 1 - f + 2*f*rng.Float64()
+	return time.Duration(float64(d) * scale)
+}
+
+// TruncNormFactor draws a positive multiplicative factor with mean 1 and the
+// given coefficient of variation, truncated to [0.3, 3]. Instance CPU speed
+// heterogeneity (Schad et al. report CoV ≈ 21% for EC2 small instances) is
+// sampled with this helper.
+func TruncNormFactor(rng *rand.Rand, cov float64) float64 {
+	if cov <= 0 {
+		return 1
+	}
+	for i := 0; i < 64; i++ {
+		f := 1 + rng.NormFloat64()*cov
+		if f >= 0.3 && f <= 3 {
+			return f
+		}
+	}
+	return 1
+}

@@ -1,0 +1,19 @@
+// Package sim implements a process-based discrete-event simulation kernel.
+//
+// Every timing-sensitive component of cloudrepl — database server CPUs,
+// network links, clocks, NTP daemons, benchmark users — runs as a simulation
+// process on a shared virtual timeline. A process is an ordinary goroutine
+// that blocks only through kernel primitives (Proc.Sleep, Resource.Acquire,
+// Queue.Get, Signal.Wait). The kernel runs exactly one process at a time and
+// orders wakeups by (virtual time, schedule sequence), so a run is fully
+// deterministic for a given seed.
+//
+// The kernel supports two run modes: Run/RunFor/RunUntil execute events as
+// fast as the host allows (a 35-minute experiment finishes in seconds), and
+// RunRealtime paces virtual time against the wall clock for interactive
+// demos.
+//
+// The zero kernel overhead target is modest — a few hundred thousand events
+// per second — which is ample for the Cloudstone-scale experiments this
+// repository reproduces.
+package sim

@@ -1,0 +1,111 @@
+package sim
+
+// Queue is an unbounded FIFO mailbox connecting simulation processes.
+// Producers never block; consumers block in Get until an item arrives or the
+// queue is closed. Network links deliver messages by scheduling a callback
+// that Puts into the destination queue.
+type Queue[T any] struct {
+	env     *Env
+	name    string
+	items   []T
+	waiters []*Proc
+	closed  bool
+
+	puts uint64
+	gets uint64
+	// High-water mark of queue depth, useful for relay-log backlog stats.
+	maxDepth int
+}
+
+// NewQueue creates an empty open queue.
+func NewQueue[T any](env *Env, name string) *Queue[T] {
+	return &Queue[T]{env: env, name: name}
+}
+
+// Name returns the queue name.
+func (q *Queue[T]) Name() string { return q.name }
+
+// Len returns the number of buffered items.
+func (q *Queue[T]) Len() int { return len(q.items) }
+
+// MaxDepth returns the highest buffered depth observed.
+func (q *Queue[T]) MaxDepth() int { return q.maxDepth }
+
+// Puts returns the total number of items ever Put.
+func (q *Queue[T]) Puts() uint64 { return q.puts }
+
+// Closed reports whether Close has been called.
+func (q *Queue[T]) Closed() bool { return q.closed }
+
+// Put appends an item and wakes one waiting consumer. It may be called from
+// any process or callback. Put on a closed queue drops the item silently
+// (messages in flight to a crashed server disappear, like packets to a dead
+// host).
+func (q *Queue[T]) Put(v T) {
+	if q.closed {
+		return
+	}
+	q.items = append(q.items, v)
+	q.puts++
+	if len(q.items) > q.maxDepth {
+		q.maxDepth = len(q.items)
+	}
+	if len(q.waiters) > 0 {
+		next := q.waiters[0]
+		copy(q.waiters, q.waiters[1:])
+		q.waiters = q.waiters[:len(q.waiters)-1]
+		q.env.scheduleProc(q.env.now, next)
+	}
+}
+
+// Get removes and returns the oldest item, blocking while the queue is
+// empty. ok is false when the queue has been closed and drained.
+func (q *Queue[T]) Get(p *Proc) (v T, ok bool) {
+	for len(q.items) == 0 {
+		if q.closed {
+			return v, false
+		}
+		q.waiters = append(q.waiters, p)
+		p.wait()
+	}
+	v = q.items[0]
+	var zero T
+	q.items[0] = zero
+	q.items = q.items[1:]
+	q.gets++
+	return v, true
+}
+
+// TryGet removes and returns the oldest item without blocking.
+func (q *Queue[T]) TryGet() (v T, ok bool) {
+	if len(q.items) == 0 {
+		return v, false
+	}
+	v = q.items[0]
+	var zero T
+	q.items[0] = zero
+	q.items = q.items[1:]
+	q.gets++
+	return v, true
+}
+
+// Peek returns the oldest item without removing it.
+func (q *Queue[T]) Peek() (v T, ok bool) {
+	if len(q.items) == 0 {
+		return v, false
+	}
+	return q.items[0], true
+}
+
+// Close marks the queue closed and wakes all waiting consumers; their Get
+// calls return ok=false once the buffer drains. Further Puts are dropped.
+func (q *Queue[T]) Close() {
+	if q.closed {
+		return
+	}
+	q.closed = true
+	for _, p := range q.waiters {
+		q.env.scheduleProc(q.env.now, p)
+	}
+	q.waiters = nil
+}

@@ -1,0 +1,207 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestQueuePutGet(t *testing.T) {
+	env := NewEnv(1)
+	q := NewQueue[int](env, "q")
+	var got []int
+	env.Go("producer", func(p *Proc) {
+		for i := 0; i < 5; i++ {
+			p.Sleep(time.Millisecond)
+			q.Put(i)
+		}
+	})
+	env.Go("consumer", func(p *Proc) {
+		for {
+			v, ok := q.Get(p)
+			if !ok {
+				return
+			}
+			got = append(got, v)
+			if v == 4 {
+				return
+			}
+		}
+	})
+	env.Run()
+	if len(got) != 5 {
+		t.Fatalf("got %v, want 5 items", got)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("got %v, want FIFO order", got)
+		}
+	}
+}
+
+func TestQueueGetBlocksUntilPut(t *testing.T) {
+	env := NewEnv(1)
+	q := NewQueue[string](env, "q")
+	var when Time
+	env.Go("consumer", func(p *Proc) {
+		q.Get(p)
+		when = p.Now()
+	})
+	env.Schedule(7*time.Millisecond, func() { q.Put("hello") })
+	env.Run()
+	if when != 7*time.Millisecond {
+		t.Fatalf("consumer resumed at %v, want 7ms", when)
+	}
+}
+
+func TestQueueMultipleConsumersFIFO(t *testing.T) {
+	env := NewEnv(1)
+	q := NewQueue[int](env, "q")
+	var order []int
+	for i := 0; i < 3; i++ {
+		i := i
+		env.Go("consumer", func(p *Proc) {
+			p.Sleep(time.Duration(i) * time.Microsecond)
+			q.Get(p)
+			order = append(order, i)
+		})
+	}
+	env.Schedule(time.Millisecond, func() {
+		q.Put(100)
+		q.Put(200)
+		q.Put(300)
+	})
+	env.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("consumers served in order %v, want FIFO", order)
+		}
+	}
+}
+
+func TestQueueClose(t *testing.T) {
+	env := NewEnv(1)
+	q := NewQueue[int](env, "q")
+	q.Put(1)
+	q.Put(2)
+	var drained []int
+	var okAfterClose bool
+	env.Go("consumer", func(p *Proc) {
+		for {
+			v, ok := q.Get(p)
+			if !ok {
+				okAfterClose = false
+				return
+			}
+			drained = append(drained, v)
+		}
+	})
+	env.Schedule(time.Millisecond, q.Close)
+	env.Run()
+	if len(drained) != 2 {
+		t.Fatalf("drained %v, want buffered items before close", drained)
+	}
+	if okAfterClose {
+		t.Fatal("Get returned ok after close and drain")
+	}
+	// Put after close is dropped.
+	q.Put(3)
+	if q.Len() != 0 {
+		t.Fatal("Put after close buffered an item")
+	}
+}
+
+func TestQueueCloseWakesAllWaiters(t *testing.T) {
+	env := NewEnv(1)
+	q := NewQueue[int](env, "q")
+	woken := 0
+	for i := 0; i < 4; i++ {
+		env.Go("consumer", func(p *Proc) {
+			_, ok := q.Get(p)
+			if !ok {
+				woken++
+			}
+		})
+	}
+	env.Schedule(time.Millisecond, q.Close)
+	env.Run()
+	if woken != 4 {
+		t.Fatalf("woken = %d, want 4", woken)
+	}
+}
+
+func TestQueueTryGetAndPeek(t *testing.T) {
+	env := NewEnv(1)
+	q := NewQueue[int](env, "q")
+	if _, ok := q.TryGet(); ok {
+		t.Fatal("TryGet on empty queue returned ok")
+	}
+	if _, ok := q.Peek(); ok {
+		t.Fatal("Peek on empty queue returned ok")
+	}
+	q.Put(42)
+	if v, ok := q.Peek(); !ok || v != 42 {
+		t.Fatalf("Peek = %v/%v, want 42/true", v, ok)
+	}
+	if q.Len() != 1 {
+		t.Fatal("Peek consumed the item")
+	}
+	if v, ok := q.TryGet(); !ok || v != 42 {
+		t.Fatalf("TryGet = %v/%v, want 42/true", v, ok)
+	}
+}
+
+func TestQueueMaxDepth(t *testing.T) {
+	env := NewEnv(1)
+	q := NewQueue[int](env, "q")
+	for i := 0; i < 10; i++ {
+		q.Put(i)
+	}
+	for i := 0; i < 5; i++ {
+		q.TryGet()
+	}
+	q.Put(11)
+	if q.MaxDepth() != 10 {
+		t.Fatalf("MaxDepth = %d, want 10", q.MaxDepth())
+	}
+}
+
+// Property: items come out in exactly the order they went in, none lost,
+// none duplicated, regardless of producer/consumer interleaving.
+func TestQueueFIFOProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		count := int(n%100) + 1
+		env := NewEnv(seed)
+		q := NewQueue[int](env, "q")
+		env.Go("producer", func(p *Proc) {
+			for i := 0; i < count; i++ {
+				p.Sleep(Exp(p.Rand(), 100*time.Microsecond))
+				q.Put(i)
+			}
+		})
+		var got []int
+		env.Go("consumer", func(p *Proc) {
+			for len(got) < count {
+				p.Sleep(Exp(p.Rand(), 150*time.Microsecond))
+				v, ok := q.Get(p)
+				if !ok {
+					return
+				}
+				got = append(got, v)
+			}
+		})
+		env.Run()
+		if len(got) != count {
+			return false
+		}
+		for i, v := range got {
+			if v != i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

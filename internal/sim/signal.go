@@ -1,0 +1,75 @@
+package sim
+
+import "time"
+
+// Signal is a broadcast condition variable for simulation processes. A
+// waiter blocks until the next Broadcast after it started waiting, or until
+// an optional timeout elapses. Semi-synchronous replication acknowledgements
+// and cluster state changes are built on Signals.
+type Signal struct {
+	env     *Env
+	waiters []*sigWaiter
+}
+
+type sigWaiter struct {
+	p        *Proc
+	woken    bool
+	timedOut bool
+	cancel   func() // cancels the timeout event, nil when no timeout
+}
+
+// NewSignal creates a Signal bound to env.
+func NewSignal(env *Env) *Signal { return &Signal{env: env} }
+
+// Waiting returns the number of blocked waiters.
+func (s *Signal) Waiting() int { return len(s.waiters) }
+
+// Wait blocks the calling process until the next Broadcast.
+func (s *Signal) Wait(p *Proc) {
+	w := &sigWaiter{p: p}
+	s.waiters = append(s.waiters, w)
+	p.wait()
+}
+
+// WaitTimeout blocks until the next Broadcast or until d elapses. It reports
+// whether the signal arrived (false on timeout).
+func (s *Signal) WaitTimeout(p *Proc, d time.Duration) bool {
+	w := &sigWaiter{p: p}
+	w.cancel = s.env.Schedule(d, func() {
+		if w.woken {
+			return
+		}
+		w.woken = true
+		w.timedOut = true
+		s.remove(w)
+		s.env.scheduleProc(s.env.now, p)
+	})
+	s.waiters = append(s.waiters, w)
+	p.wait()
+	return !w.timedOut
+}
+
+func (s *Signal) remove(w *sigWaiter) {
+	for i, x := range s.waiters {
+		if x == w {
+			s.waiters = append(s.waiters[:i], s.waiters[i+1:]...)
+			return
+		}
+	}
+}
+
+// Broadcast wakes every current waiter. It may be called from any process or
+// callback; waiters resume at the current virtual time in wait order.
+func (s *Signal) Broadcast() {
+	for _, w := range s.waiters {
+		if w.woken {
+			continue
+		}
+		w.woken = true
+		if w.cancel != nil {
+			w.cancel()
+		}
+		s.env.scheduleProc(s.env.now, w.p)
+	}
+	s.waiters = s.waiters[:0]
+}

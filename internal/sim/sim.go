@@ -1,0 +1,386 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime/debug"
+	"time"
+)
+
+// Time is a point on the virtual timeline, expressed as the duration elapsed
+// since the start of the simulation.
+type Time = time.Duration
+
+// MaxTime is the largest representable virtual time.
+const MaxTime Time = math.MaxInt64
+
+// event is a scheduled occurrence: either a process wakeup or a callback.
+type event struct {
+	at        Time
+	seq       uint64 // tie-breaker: schedule order
+	proc      *Proc  // non-nil for a process wakeup
+	fn        func() // non-nil for a callback
+	cancelled bool
+	index     int // heap index, -1 when popped
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+type yieldKind int
+
+const (
+	yieldBlocked yieldKind = iota
+	yieldDone
+)
+
+type yieldMsg struct {
+	p    *Proc
+	kind yieldKind
+}
+
+// errShutdown is panicked inside blocked processes when the environment is
+// shut down; the process wrapper swallows it.
+type shutdownSentinel struct{}
+
+// Env is a simulation environment: an event queue, a virtual clock and a
+// scheduler. An Env must only be driven from a single goroutine (the one
+// calling Run and friends); simulation processes themselves are goroutines
+// that the scheduler resumes one at a time.
+type Env struct {
+	now     Time
+	queue   eventHeap
+	seq     uint64
+	rng     *rand.Rand
+	cur     *Proc
+	yield   chan yieldMsg
+	doneCh  chan struct{}
+	alive   int // processes started and not yet finished
+	stopped bool
+	closed  bool
+
+	panicVal   any
+	panicStack []byte
+	procSeq    uint64
+}
+
+// NewEnv returns a fresh environment whose random source is seeded with seed.
+// Two environments with the same seed and the same process program produce
+// identical event orderings.
+func NewEnv(seed int64) *Env {
+	return &Env{
+		rng:    rand.New(rand.NewSource(seed)),
+		yield:  make(chan yieldMsg),
+		doneCh: make(chan struct{}),
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Env) Now() Time { return e.now }
+
+// Rand returns the environment's deterministic random source. It must only
+// be used from the scheduler goroutine or from a running process (both are
+// serialized, so no locking is needed).
+func (e *Env) Rand() *rand.Rand { return e.rng }
+
+// Pending reports the number of live (not cancelled) scheduled events.
+func (e *Env) Pending() int {
+	n := 0
+	for _, ev := range e.queue {
+		if !ev.cancelled {
+			n++
+		}
+	}
+	return n
+}
+
+// Alive reports the number of processes that have been started and have not
+// yet returned.
+func (e *Env) Alive() int { return e.alive }
+
+func (e *Env) push(ev *event) *event {
+	e.seq++
+	ev.seq = e.seq
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// Schedule arranges for fn to run at virtual time Now()+d. Callbacks run on
+// the scheduler goroutine and must not block on kernel primitives. The
+// returned cancel function is safe to call at most once, from scheduler
+// context, and is a no-op if the event already fired.
+func (e *Env) Schedule(d time.Duration, fn func()) (cancel func()) {
+	if d < 0 {
+		d = 0
+	}
+	ev := e.push(&event{at: e.now + d, fn: fn})
+	return func() { ev.cancelled = true }
+}
+
+// scheduleProc arranges for p to resume at time at.
+func (e *Env) scheduleProc(at Time, p *Proc) *event {
+	if at < e.now {
+		at = e.now
+	}
+	return e.push(&event{at: at, proc: p})
+}
+
+// Proc is a simulation process. All blocking methods must be called from the
+// process's own goroutine while it is the running process.
+type Proc struct {
+	env    *Env
+	name   string
+	id     uint64
+	resume chan struct{}
+}
+
+// Name returns the process name given to Go.
+func (p *Proc) Name() string { return p.name }
+
+// Env returns the owning environment.
+func (p *Proc) Env() *Env { return p.env }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.env.now }
+
+// Rand returns the environment's deterministic random source.
+func (p *Proc) Rand() *rand.Rand { return p.env.rng }
+
+// Go starts a new simulation process running fn. The process is scheduled to
+// begin at the current virtual time. Go may be called before Run, from
+// another process, or from a callback.
+func (e *Env) Go(name string, fn func(p *Proc)) *Proc {
+	if e.closed {
+		panic("sim: Go on a closed Env")
+	}
+	e.procSeq++
+	p := &Proc{env: e, name: name, id: e.procSeq, resume: make(chan struct{})}
+	e.alive++
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(shutdownSentinel); !ok {
+					e.panicVal = r
+					e.panicStack = debug.Stack()
+				}
+			}
+			e.yield <- yieldMsg{p, yieldDone}
+		}()
+		select {
+		case <-p.resume:
+		case <-e.doneCh:
+			panic(shutdownSentinel{})
+		}
+		fn(p)
+	}()
+	e.scheduleProc(e.now, p)
+	return p
+}
+
+// wait blocks the calling process until it is resumed by the scheduler.
+// The caller must have arranged for a wakeup (timer event, resource grant,
+// queue put, signal) before calling wait.
+func (p *Proc) wait() {
+	e := p.env
+	if e.cur != p {
+		panic(fmt.Sprintf("sim: blocking call on process %q from outside its own goroutine", p.name))
+	}
+	e.yield <- yieldMsg{p, yieldBlocked}
+	select {
+	case <-p.resume:
+	case <-e.doneCh:
+		panic(shutdownSentinel{})
+	}
+}
+
+// Sleep suspends the process for virtual duration d (non-positive durations
+// still yield to the scheduler for one event cycle).
+func (p *Proc) Sleep(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	p.env.scheduleProc(p.env.now+d, p)
+	p.wait()
+}
+
+// SleepUntil suspends the process until virtual time t (immediately resumes
+// if t is in the past).
+func (p *Proc) SleepUntil(t Time) {
+	p.env.scheduleProc(t, p)
+	p.wait()
+}
+
+// step executes the next event. It returns false when the queue is empty.
+func (e *Env) step() bool {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*event)
+		if ev.cancelled {
+			continue
+		}
+		if ev.at > e.now {
+			e.now = ev.at
+		}
+		if ev.fn != nil {
+			ev.fn()
+			e.checkPanic()
+			return true
+		}
+		p := ev.proc
+		e.cur = p
+		p.resume <- struct{}{}
+		msg := <-e.yield
+		e.cur = nil
+		if msg.kind == yieldDone {
+			e.alive--
+		}
+		e.checkPanic()
+		return true
+	}
+	return false
+}
+
+func (e *Env) checkPanic() {
+	if e.panicVal != nil {
+		v, s := e.panicVal, e.panicStack
+		e.panicVal, e.panicStack = nil, nil
+		panic(fmt.Sprintf("sim: process panicked: %v\n%s", v, s))
+	}
+}
+
+// Run executes events until the queue is empty or Stop is called.
+func (e *Env) Run() {
+	e.stopped = false
+	for !e.stopped && e.step() {
+	}
+}
+
+// RunUntil executes all events scheduled at or before t, then advances the
+// clock to exactly t. Later events remain queued.
+func (e *Env) RunUntil(t Time) {
+	e.stopped = false
+	for !e.stopped {
+		if len(e.queue) == 0 {
+			break
+		}
+		next := e.peek()
+		if next == nil {
+			break
+		}
+		if next.at > t {
+			break
+		}
+		e.step()
+	}
+	if e.now < t {
+		e.now = t
+	}
+}
+
+// RunFor executes events for virtual duration d from the current time.
+func (e *Env) RunFor(d time.Duration) { e.RunUntil(e.now + d) }
+
+// peek returns the earliest non-cancelled event without removing it.
+func (e *Env) peek() *event {
+	for len(e.queue) > 0 {
+		ev := e.queue[0]
+		if !ev.cancelled {
+			return ev
+		}
+		heap.Pop(&e.queue)
+	}
+	return nil
+}
+
+// Stop makes the current Run/RunUntil/RunFor call return after the event in
+// progress. It may be called from a process or callback.
+func (e *Env) Stop() { e.stopped = true }
+
+// RunRealtime executes events while pacing virtual time against the wall
+// clock: one second of virtual time takes 1/speed wall seconds. It returns
+// when the queue is empty, Stop is called, or stop is closed.
+func (e *Env) RunRealtime(speed float64, stop <-chan struct{}) {
+	if speed <= 0 {
+		speed = 1
+	}
+	e.stopped = false
+	start := time.Now()
+	base := e.now
+	for !e.stopped {
+		next := e.peek()
+		if next == nil {
+			return
+		}
+		target := time.Duration(float64(next.at-base) / speed)
+		if wait := target - time.Since(start); wait > 0 {
+			timer := time.NewTimer(wait)
+			select {
+			case <-timer.C:
+			case <-stop:
+				timer.Stop()
+				return
+			}
+		}
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		e.step()
+	}
+}
+
+// Shutdown unwinds every blocked process so that no goroutines leak. The
+// environment must not be used afterwards. It is safe to call Shutdown after
+// Run has returned, including when processes are still blocked on resources
+// or queues.
+func (e *Env) Shutdown() {
+	if e.closed {
+		return
+	}
+	e.closed = true
+	close(e.doneCh)
+	// Every alive process is parked: either in wait()'s select or in the
+	// wrapper's initial select, both of which observe doneCh and unwind via
+	// the shutdown sentinel. No process can be running because Shutdown is
+	// called from the scheduler goroutine between events.
+	remaining := e.alive
+	for remaining > 0 {
+		select {
+		case msg := <-e.yield:
+			if msg.kind == yieldDone {
+				remaining--
+				e.alive--
+			}
+		case <-time.After(5 * time.Second):
+			panic(fmt.Sprintf("sim: Shutdown timed out with %d processes alive", remaining))
+		}
+	}
+}

@@ -1,0 +1,412 @@
+// Package sqlengine is an embeddable in-memory relational engine with a
+// MySQL-flavored SQL dialect: typed tables with primary keys and secondary
+// indexes, INSERT/UPDATE/DELETE/SELECT (joins, aggregates, ORDER BY/LIMIT),
+// transactions with rollback, positional parameters, and a statement-commit
+// hook that feeds statement-based replication.
+//
+// The engine stands in for MySQL 5.x in the paper's experiments. Two
+// properties matter for fidelity: per-statement execution statistics (rows
+// examined/affected) drive the virtual CPU cost model, and time builtins
+// (UTC_MICROS, NOW) are evaluated against the *local* instance clock at
+// execution time, so a replicated heartbeat INSERT commits the slave's own
+// timestamp when the slave's SQL thread re-executes it — the paper's delay
+// measurement methodology.
+package sqlengine
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// StmtClass classifies a statement for cost accounting and routing.
+type StmtClass uint8
+
+// Statement classes.
+const (
+	ClassRead  StmtClass = iota // SELECT
+	ClassWrite                  // INSERT, UPDATE, DELETE
+	ClassDDL                    // CREATE, DROP, TRUNCATE
+	ClassTxn                    // BEGIN, COMMIT, ROLLBACK, USE
+)
+
+func (c StmtClass) String() string {
+	switch c {
+	case ClassRead:
+		return "read"
+	case ClassWrite:
+		return "write"
+	case ClassDDL:
+		return "ddl"
+	default:
+		return "txn"
+	}
+}
+
+// ExecStats describes the work one statement performed; the server layer
+// converts it to virtual CPU time.
+type ExecStats struct {
+	RowsExamined int
+	RowsReturned int
+	RowsAffected int
+	UsedIndex    bool
+	Class        StmtClass
+}
+
+// ResultSet is the rows returned by a SELECT.
+type ResultSet struct {
+	Columns []string
+	Rows    [][]Value
+}
+
+// Result is the outcome of executing one statement.
+type Result struct {
+	Set   *ResultSet // nil for non-SELECT
+	Stats ExecStats
+	// SQL is the fully-bound statement text (parameters interpolated) —
+	// what a statement-format binlog records for write statements.
+	SQL string
+	// RowSQL carries the row-image statements (one per affected row) that
+	// a row-format binlog records instead of SQL.
+	RowSQL []string
+}
+
+// CommitHook observes committed write statements in commit order. database
+// is the session's current database; sqls are replayable statement texts.
+type CommitHook func(database string, sqls []string)
+
+// BinlogFormat selects how committed writes are rendered for replication.
+type BinlogFormat uint8
+
+const (
+	// FormatStatement logs the original statement text; non-deterministic
+	// builtins (UTC_MICROS) re-evaluate on each replica — MySQL SBR and
+	// the mode the paper's heartbeat methodology depends on.
+	FormatStatement BinlogFormat = iota
+	// FormatRow logs deterministic per-row images (literal values fixed at
+	// the master) — MySQL RBR. Replicas apply exactly the master's values,
+	// so the heartbeat trick stops working (the negative control).
+	FormatRow
+)
+
+// Engine is a single server's database engine: a set of databases, a parse
+// cache, a local-time source for time builtins and a commit hook feeding
+// the binlog.
+type Engine struct {
+	mu  sync.RWMutex
+	dbs map[string]*Database
+
+	// NowMicros supplies local time in microseconds for UTC_MICROS()/NOW().
+	// The database server binds it to its instance's drifting clock.
+	NowMicros func() int64
+	// Format selects statement- or row-based rendering for the commit hook.
+	Format BinlogFormat
+	// OnCommit, when non-nil, receives every committed write statement.
+	OnCommit CommitHook
+
+	parseCache sync.Map // sql string -> Statement
+}
+
+// Database is a named collection of tables.
+type Database struct {
+	Name   string
+	tables map[string]*Table
+}
+
+// Tables returns the table map (keyed by lower-case name).
+func (d *Database) Tables() map[string]*Table { return d.tables }
+
+// Table looks up a table by case-insensitive name.
+func (d *Database) Table(name string) (*Table, bool) {
+	t, ok := d.tables[strings.ToLower(name)]
+	return t, ok
+}
+
+// NewEngine creates an empty engine. Time builtins read zero until
+// NowMicros is set.
+func NewEngine() *Engine {
+	return &Engine{
+		dbs:       make(map[string]*Database),
+		NowMicros: func() int64 { return 0 },
+	}
+}
+
+// CreateDatabase creates a database, erroring if it exists (unless ifNotExists).
+func (e *Engine) CreateDatabase(name string, ifNotExists bool) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.createDatabaseLocked(name, ifNotExists)
+}
+
+// Database returns a database by case-insensitive name.
+func (e *Engine) Database(name string) (*Database, bool) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	d, ok := e.dbs[strings.ToLower(name)]
+	return d, ok
+}
+
+// Databases lists database names.
+func (e *Engine) Databases() []string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	var out []string
+	for _, d := range e.dbs {
+		out = append(out, d.Name)
+	}
+	return out
+}
+
+// parse returns the cached AST for sql, parsing on first use. Cached ASTs
+// are never mutated: execution works on bound copies.
+func (e *Engine) parse(sql string) (Statement, error) {
+	if v, ok := e.parseCache.Load(sql); ok {
+		return v.(Statement), nil
+	}
+	stmt, err := Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	e.parseCache.Store(sql, stmt)
+	return stmt, nil
+}
+
+// Session is a connection-scoped execution context: current database,
+// transaction state and undo log.
+type Session struct {
+	eng *Engine
+	db  string
+
+	inTxn   bool
+	pending []string // bound SQL texts awaiting commit, in order
+	undo    []func() // undo actions, applied in reverse on rollback
+}
+
+// NewSession opens a session with the given current database (may be "").
+func (e *Engine) NewSession(db string) *Session {
+	return &Session{eng: e, db: db}
+}
+
+// DB returns the session's current database name.
+func (s *Session) DB() string { return s.db }
+
+// InTxn reports whether an explicit transaction is open.
+func (s *Session) InTxn() bool { return s.inTxn }
+
+// Exec parses (with caching), binds args and executes one statement.
+func (s *Session) Exec(sql string, args ...Value) (*Result, error) {
+	stmt, err := s.eng.parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return s.ExecStmt(stmt, args...)
+}
+
+// ExecStmt executes a pre-parsed statement with bound args.
+func (s *Session) ExecStmt(stmt Statement, args ...Value) (*Result, error) {
+	bound := stmt
+	if len(args) > 0 || hasParams(stmt) {
+		var err error
+		bound, err = Bind(stmt, args)
+		if err != nil {
+			return nil, err
+		}
+	}
+	switch st := bound.(type) {
+	case *BeginStmt:
+		if s.inTxn {
+			return nil, fmt.Errorf("sqlengine: nested BEGIN")
+		}
+		s.inTxn = true
+		return &Result{Stats: ExecStats{Class: ClassTxn}, SQL: "BEGIN"}, nil
+	case *CommitStmt:
+		s.commit()
+		return &Result{Stats: ExecStats{Class: ClassTxn}, SQL: "COMMIT"}, nil
+	case *RollbackStmt:
+		s.rollback()
+		return &Result{Stats: ExecStats{Class: ClassTxn}, SQL: "ROLLBACK"}, nil
+	case *UseStmt:
+		if _, ok := s.eng.Database(st.DB); !ok {
+			return nil, fmt.Errorf("sqlengine: unknown database %s", st.DB)
+		}
+		s.db = st.DB
+		return &Result{Stats: ExecStats{Class: ClassTxn}, SQL: bound.String()}, nil
+	}
+
+	s.eng.mu.Lock()
+	defer s.eng.mu.Unlock()
+	res, err := s.eng.execLocked(s, bound)
+	if err != nil {
+		return nil, err
+	}
+	if res.Stats.Class == ClassWrite || res.Stats.Class == ClassDDL {
+		s.recordCommit(res)
+	}
+	return res, nil
+}
+
+// Query is Exec for statements expected to return rows.
+func (s *Session) Query(sql string, args ...Value) (*ResultSet, error) {
+	res, err := s.Exec(sql, args...)
+	if err != nil {
+		return nil, err
+	}
+	if res.Set == nil {
+		return nil, fmt.Errorf("sqlengine: statement returned no result set")
+	}
+	return res.Set, nil
+}
+
+// recordCommit routes a completed write to the commit hook, immediately in
+// autocommit mode or buffered until COMMIT inside a transaction. DDL always
+// commits immediately (MySQL's implicit-commit behaviour).
+func (s *Session) recordCommit(res *Result) {
+	sqls := []string{res.SQL}
+	if s.eng.Format == FormatRow && res.Stats.Class == ClassWrite {
+		sqls = res.RowSQL
+		if len(sqls) == 0 {
+			return // write touched no rows: nothing to replicate
+		}
+	}
+	if res.Stats.Class == ClassDDL || !s.inTxn {
+		// An implicitly-committing statement flushes any open transaction
+		// first, preserving order.
+		if res.Stats.Class == ClassDDL && s.inTxn {
+			s.commit()
+		}
+		if s.eng.OnCommit != nil {
+			s.eng.OnCommit(s.db, sqls)
+		}
+		return
+	}
+	s.pending = append(s.pending, sqls...)
+}
+
+func (s *Session) commit() {
+	if s.inTxn && len(s.pending) > 0 && s.eng.OnCommit != nil {
+		s.eng.OnCommit(s.db, s.pending)
+	}
+	s.pending = nil
+	s.undo = nil
+	s.inTxn = false
+}
+
+func (s *Session) rollback() {
+	s.eng.mu.Lock()
+	for i := len(s.undo) - 1; i >= 0; i-- {
+		s.undo[i]()
+	}
+	s.eng.mu.Unlock()
+	s.pending = nil
+	s.undo = nil
+	s.inTxn = false
+}
+
+// addUndo records an undo action when inside a transaction.
+func (s *Session) addUndo(fn func()) {
+	if s.inTxn {
+		s.undo = append(s.undo, fn)
+	}
+}
+
+// resolveTable finds the table named by ref in the session's engine.
+func (s *Session) resolveTable(ref TableRef) (*Database, *Table, error) {
+	dbName := ref.DB
+	if dbName == "" {
+		dbName = s.db
+	}
+	if dbName == "" {
+		return nil, nil, fmt.Errorf("sqlengine: no database selected")
+	}
+	db, ok := s.eng.dbs[strings.ToLower(dbName)]
+	if !ok {
+		return nil, nil, fmt.Errorf("sqlengine: unknown database %s", dbName)
+	}
+	t, ok := db.Table(ref.Name)
+	if !ok {
+		return db, nil, fmt.Errorf("sqlengine: unknown table %s.%s", dbName, ref.Name)
+	}
+	return db, t, nil
+}
+
+// hasParams reports whether any Param node appears in the statement.
+func hasParams(stmt Statement) bool {
+	found := false
+	walkStmt(stmt, func(e Expr) {
+		if _, ok := e.(*Param); ok {
+			found = true
+		}
+	})
+	return found
+}
+
+// walkStmt visits every expression in a statement.
+func walkStmt(stmt Statement, visit func(Expr)) {
+	switch s := stmt.(type) {
+	case *ExplainStmt:
+		walkStmt(s.Inner, visit)
+	case *InsertStmt:
+		for _, row := range s.Rows {
+			for _, e := range row {
+				walkExpr(e, visit)
+			}
+		}
+	case *UpdateStmt:
+		for _, a := range s.Sets {
+			walkExpr(a.Value, visit)
+		}
+		walkExpr(s.Where, visit)
+	case *DeleteStmt:
+		walkExpr(s.Where, visit)
+	case *SelectStmt:
+		for _, se := range s.Exprs {
+			walkExpr(se.Expr, visit)
+		}
+		for _, j := range s.Joins {
+			walkExpr(j.On, visit)
+		}
+		walkExpr(s.Where, visit)
+		for _, g := range s.GroupBy {
+			walkExpr(g, visit)
+		}
+		walkExpr(s.Having, visit)
+		for _, o := range s.OrderBy {
+			walkExpr(o.Expr, visit)
+		}
+		walkExpr(s.Limit, visit)
+		walkExpr(s.Offset, visit)
+	}
+}
+
+// walkExpr visits e and its children.
+func walkExpr(e Expr, visit func(Expr)) {
+	if e == nil {
+		return
+	}
+	visit(e)
+	switch e := e.(type) {
+	case *Unary:
+		walkExpr(e.X, visit)
+	case *Binary:
+		walkExpr(e.L, visit)
+		walkExpr(e.R, visit)
+	case *FuncCall:
+		for _, a := range e.Args {
+			walkExpr(a, visit)
+		}
+	case *InExpr:
+		walkExpr(e.X, visit)
+		for _, it := range e.List {
+			walkExpr(it, visit)
+		}
+	case *BetweenExpr:
+		walkExpr(e.X, visit)
+		walkExpr(e.Lo, visit)
+		walkExpr(e.Hi, visit)
+	case *IsNullExpr:
+		walkExpr(e.X, visit)
+	case *LikeExpr:
+		walkExpr(e.X, visit)
+		walkExpr(e.Pattern, visit)
+	}
+}

@@ -1,0 +1,909 @@
+package sqlengine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// execLocked executes a bound non-transaction statement. The engine mutex
+// is held by the caller.
+func (e *Engine) execLocked(s *Session, stmt Statement) (*Result, error) {
+	switch st := stmt.(type) {
+	case *CreateDatabaseStmt:
+		if err := e.createDatabaseLocked(st.Name, st.IfNotExists); err != nil {
+			return nil, err
+		}
+		return &Result{Stats: ExecStats{Class: ClassDDL}, SQL: st.String()}, nil
+	case *CreateTableStmt:
+		return e.execCreateTable(s, st)
+	case *DropTableStmt:
+		return e.execDropTable(s, st)
+	case *TruncateStmt:
+		_, tbl, err := s.resolveTable(st.Table)
+		if err != nil {
+			return nil, err
+		}
+		n := tbl.NumRows()
+		tbl.Truncate()
+		return &Result{Stats: ExecStats{Class: ClassDDL, RowsAffected: n}, SQL: st.String()}, nil
+	case *InsertStmt:
+		return e.execInsert(s, st)
+	case *UpdateStmt:
+		return e.execUpdate(s, st)
+	case *DeleteStmt:
+		return e.execDelete(s, st)
+	case *SelectStmt:
+		return e.execSelect(s, st)
+	case *ExplainStmt:
+		return e.execExplain(s, st)
+	case *ShowStmt:
+		return e.execShow(s, st)
+	case *DescribeStmt:
+		return e.execDescribe(s, st)
+	default:
+		return nil, fmt.Errorf("sqlengine: cannot execute %T", stmt)
+	}
+}
+
+func (e *Engine) createDatabaseLocked(name string, ifNotExists bool) error {
+	key := strings.ToLower(name)
+	if _, ok := e.dbs[key]; ok {
+		if ifNotExists {
+			return nil
+		}
+		return fmt.Errorf("sqlengine: database %s exists", name)
+	}
+	e.dbs[key] = &Database{Name: name, tables: make(map[string]*Table)}
+	return nil
+}
+
+func (e *Engine) execCreateTable(s *Session, st *CreateTableStmt) (*Result, error) {
+	dbName := st.Table.DB
+	if dbName == "" {
+		dbName = s.db
+	}
+	if dbName == "" {
+		return nil, fmt.Errorf("sqlengine: no database selected")
+	}
+	db, ok := e.dbs[strings.ToLower(dbName)]
+	if !ok {
+		return nil, fmt.Errorf("sqlengine: unknown database %s", dbName)
+	}
+	key := strings.ToLower(st.Table.Name)
+	if _, exists := db.tables[key]; exists {
+		if st.IfNotExists {
+			return &Result{Stats: ExecStats{Class: ClassDDL}, SQL: st.String()}, nil
+		}
+		return nil, fmt.Errorf("sqlengine: table %s.%s exists", dbName, st.Table.Name)
+	}
+	tbl, err := NewTable(st.Table.Name, st.Columns, st.PrimaryKey, st.Indexes)
+	if err != nil {
+		return nil, err
+	}
+	db.tables[key] = tbl
+	return &Result{Stats: ExecStats{Class: ClassDDL}, SQL: st.String()}, nil
+}
+
+func (e *Engine) execDropTable(s *Session, st *DropTableStmt) (*Result, error) {
+	dbName := st.Table.DB
+	if dbName == "" {
+		dbName = s.db
+	}
+	db, ok := e.dbs[strings.ToLower(dbName)]
+	if !ok {
+		return nil, fmt.Errorf("sqlengine: unknown database %s", dbName)
+	}
+	key := strings.ToLower(st.Table.Name)
+	if _, exists := db.tables[key]; !exists {
+		if st.IfExists {
+			return &Result{Stats: ExecStats{Class: ClassDDL}, SQL: st.String()}, nil
+		}
+		return nil, fmt.Errorf("sqlengine: unknown table %s.%s", dbName, st.Table.Name)
+	}
+	delete(db.tables, key)
+	return &Result{Stats: ExecStats{Class: ClassDDL}, SQL: st.String()}, nil
+}
+
+func (e *Engine) execInsert(s *Session, st *InsertStmt) (*Result, error) {
+	_, tbl, err := s.resolveTable(st.Table)
+	if err != nil {
+		return nil, err
+	}
+	// Map statement columns to table positions.
+	var positions []int
+	if len(st.Columns) == 0 {
+		positions = make([]int, len(tbl.Columns))
+		for i := range positions {
+			positions[i] = i
+		}
+	} else {
+		for _, name := range st.Columns {
+			pos, ok := tbl.ColPos(name)
+			if !ok {
+				return nil, fmt.Errorf("sqlengine: unknown column %s in INSERT", name)
+			}
+			positions = append(positions, pos)
+		}
+	}
+	sc := &scope{eng: e}
+	stats := ExecStats{Class: ClassWrite}
+	var inserted []*Row
+	for _, exprRow := range st.Rows {
+		if len(exprRow) != len(positions) {
+			return nil, fmt.Errorf("sqlengine: INSERT row has %d values, want %d", len(exprRow), len(positions))
+		}
+		vals := make([]Value, len(tbl.Columns))
+		for i := range vals {
+			vals[i] = Null
+		}
+		for i, ex := range exprRow {
+			v, err := sc.eval(ex)
+			if err != nil {
+				return nil, err
+			}
+			vals[positions[i]] = v
+		}
+		r, err := tbl.Insert(vals)
+		if err != nil {
+			// Undo prior rows of this statement for atomicity.
+			for _, prev := range inserted {
+				tbl.Delete(prev)
+			}
+			return nil, err
+		}
+		inserted = append(inserted, r)
+		stats.RowsAffected++
+	}
+	rows := inserted
+	s.addUndo(func() {
+		for i := len(rows) - 1; i >= 0; i-- {
+			tbl.Delete(rows[i])
+		}
+	})
+	res := &Result{Stats: stats, SQL: st.String()}
+	if e.Format == FormatRow {
+		for _, r := range inserted {
+			res.RowSQL = append(res.RowSQL, renderRowInsert(tbl, r.vals))
+		}
+	}
+	// In statement format the binlog stores the original statement text so
+	// the slave re-evaluates builtins against its own clock.
+	return res, nil
+}
+
+func (e *Engine) execUpdate(s *Session, st *UpdateStmt) (*Result, error) {
+	_, tbl, err := s.resolveTable(st.Table)
+	if err != nil {
+		return nil, err
+	}
+	stats := ExecStats{Class: ClassWrite}
+	cands, usedIdx := pickCandidates(tbl, st.Table.refName(), st.Where, e)
+	stats.UsedIndex = usedIdx
+	stats.RowsExamined = len(cands)
+	sc := &scope{eng: e, tables: []scopeTable{{strings.ToLower(st.Table.refName()), tbl, nil}}}
+
+	// Pre-resolve SET columns.
+	var setPos []int
+	for _, a := range st.Sets {
+		pos, ok := tbl.ColPos(a.Column)
+		if !ok {
+			return nil, fmt.Errorf("sqlengine: unknown column %s in UPDATE", a.Column)
+		}
+		setPos = append(setPos, pos)
+	}
+
+	var targets []*Row
+	for _, r := range cands {
+		sc.tables[0].vals = r.vals
+		if st.Where != nil {
+			ok, err := sc.eval(st.Where)
+			if err != nil {
+				return nil, err
+			}
+			if ok.IsNull() || !ok.Bool() {
+				continue
+			}
+		}
+		targets = append(targets, r)
+	}
+	type undoRec struct {
+		r   *Row
+		old []Value
+	}
+	var undos []undoRec
+	for _, r := range targets {
+		sc.tables[0].vals = r.vals
+		newVals := append([]Value(nil), r.vals...)
+		changed := false
+		for i, a := range st.Sets {
+			v, err := sc.eval(a.Value)
+			if err != nil {
+				return nil, err
+			}
+			newVals[setPos[i]] = v
+			changed = true
+		}
+		if !changed {
+			continue
+		}
+		old := append([]Value(nil), r.vals...)
+		if err := tbl.Update(r, newVals); err != nil {
+			for i := len(undos) - 1; i >= 0; i-- {
+				_ = tbl.Update(undos[i].r, undos[i].old)
+			}
+			return nil, err
+		}
+		undos = append(undos, undoRec{r, old})
+		stats.RowsAffected++
+	}
+	if len(undos) > 0 {
+		recs := undos
+		s.addUndo(func() {
+			for i := len(recs) - 1; i >= 0; i-- {
+				_ = tbl.Update(recs[i].r, recs[i].old)
+			}
+		})
+	}
+	res := &Result{Stats: stats, SQL: st.String()}
+	if e.Format == FormatRow {
+		for _, rec := range undos {
+			res.RowSQL = append(res.RowSQL, renderRowUpdate(tbl, rec.old, rec.r.vals))
+		}
+	}
+	return res, nil
+}
+
+func (e *Engine) execDelete(s *Session, st *DeleteStmt) (*Result, error) {
+	_, tbl, err := s.resolveTable(st.Table)
+	if err != nil {
+		return nil, err
+	}
+	stats := ExecStats{Class: ClassWrite}
+	cands, usedIdx := pickCandidates(tbl, st.Table.refName(), st.Where, e)
+	stats.UsedIndex = usedIdx
+	stats.RowsExamined = len(cands)
+	sc := &scope{eng: e, tables: []scopeTable{{strings.ToLower(st.Table.refName()), tbl, nil}}}
+	var targets []*Row
+	for _, r := range cands {
+		sc.tables[0].vals = r.vals
+		if st.Where != nil {
+			ok, err := sc.eval(st.Where)
+			if err != nil {
+				return nil, err
+			}
+			if ok.IsNull() || !ok.Bool() {
+				continue
+			}
+		}
+		targets = append(targets, r)
+	}
+	var saved [][]Value
+	for _, r := range targets {
+		saved = append(saved, append([]Value(nil), r.vals...))
+		tbl.Delete(r)
+		stats.RowsAffected++
+	}
+	if len(saved) > 0 {
+		vals := saved
+		s.addUndo(func() {
+			for _, v := range vals {
+				_, _ = tbl.Insert(v)
+			}
+		})
+	}
+	res := &Result{Stats: stats, SQL: st.String()}
+	if e.Format == FormatRow {
+		for _, before := range saved {
+			res.RowSQL = append(res.RowSQL, renderRowDelete(tbl, before))
+		}
+	}
+	return res, nil
+}
+
+// conjuncts flattens an AND tree.
+func conjuncts(e Expr) []Expr {
+	if b, ok := e.(*Binary); ok && b.Op == "AND" {
+		return append(conjuncts(b.L), conjuncts(b.R)...)
+	}
+	if e == nil {
+		return nil
+	}
+	return []Expr{e}
+}
+
+// constEval evaluates an expression containing no column references.
+func constEval(e Expr, eng *Engine) (Value, bool) {
+	hasCol := false
+	walkExpr(e, func(x Expr) {
+		if _, ok := x.(*ColRef); ok {
+			hasCol = true
+		}
+	})
+	if hasCol {
+		return Null, false
+	}
+	sc := &scope{eng: eng}
+	v, err := sc.eval(e)
+	if err != nil {
+		return Null, false
+	}
+	return v, true
+}
+
+// pickCandidates selects the scan set for a table given a WHERE clause: an
+// index-equality bucket when some conjunct is `col = const` over an indexed
+// column, otherwise the whole heap.
+func pickCandidates(tbl *Table, refName string, where Expr, eng *Engine) ([]*Row, bool) {
+	ref := strings.ToLower(refName)
+	for _, c := range conjuncts(where) {
+		b, ok := c.(*Binary)
+		if !ok || b.Op != "=" {
+			continue
+		}
+		for _, try := range [2][2]Expr{{b.L, b.R}, {b.R, b.L}} {
+			col, ok := try[0].(*ColRef)
+			if !ok {
+				continue
+			}
+			if col.Table != "" && strings.ToLower(col.Table) != ref {
+				continue
+			}
+			pos, ok := tbl.ColPos(col.Name)
+			if !ok {
+				continue
+			}
+			v, ok := constEval(try[1], eng)
+			if !ok {
+				continue
+			}
+			if rows, usable := tbl.lookupEq(pos, v); usable {
+				return rows, true
+			}
+		}
+	}
+	return tbl.Rows(), false
+}
+
+// jrow is one joined row: per scope table, its values (nil = LEFT JOIN miss).
+type jrow [][]Value
+
+func (e *Engine) execSelect(s *Session, st *SelectStmt) (*Result, error) {
+	stats := ExecStats{Class: ClassRead}
+	sc := &scope{eng: e}
+
+	// Table-less SELECT: evaluate once against the empty scope.
+	if st.From == nil {
+		var cols []string
+		var row []Value
+		for _, se := range st.Exprs {
+			if se.Star {
+				return nil, fmt.Errorf("sqlengine: SELECT * requires FROM")
+			}
+			v, err := sc.eval(se.Expr)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, v)
+			cols = append(cols, selectColName(se))
+		}
+		stats.RowsReturned = 1
+		return &Result{Set: &ResultSet{Columns: cols, Rows: [][]Value{row}}, Stats: stats, SQL: st.String()}, nil
+	}
+
+	// Resolve tables into the scope.
+	_, fromTbl, err := s.resolveTable(*st.From)
+	if err != nil {
+		return nil, err
+	}
+	sc.tables = append(sc.tables, scopeTable{strings.ToLower(st.From.refName()), fromTbl, nil})
+	joinTbls := make([]*Table, len(st.Joins))
+	for i, j := range st.Joins {
+		_, jt, err := s.resolveTable(j.Table)
+		if err != nil {
+			return nil, err
+		}
+		joinTbls[i] = jt
+		sc.tables = append(sc.tables, scopeTable{strings.ToLower(j.Table.refName()), jt, nil})
+	}
+
+	// Scan the driving table, using an index when the WHERE allows.
+	cands, usedIdx := pickCandidates(fromTbl, st.From.refName(), st.Where, e)
+	stats.UsedIndex = usedIdx
+	stats.RowsExamined += len(cands)
+
+	cur := make([]jrow, 0, len(cands))
+	for _, r := range cands {
+		row := make(jrow, len(sc.tables))
+		row[0] = r.vals
+		cur = append(cur, row)
+	}
+
+	// Nested-loop joins, with index lookup on `right.col = expr(left)` when
+	// available.
+	for ji, j := range st.Joins {
+		jt := joinTbls[ji]
+		rightIdx := ji + 1
+		eqCol, eqExpr := joinEqPattern(j.On, strings.ToLower(j.Table.refName()), jt)
+		var next []jrow
+		for _, row := range cur {
+			setScope(sc, row)
+			var matches []*Row
+			indexed := false
+			if eqCol >= 0 {
+				if v, err := sc.eval(eqExpr); err == nil {
+					if rows, usable := jt.lookupEq(eqCol, v); usable {
+						matches = rows
+						indexed = true
+					}
+				}
+			}
+			if !indexed {
+				matches = jt.Rows()
+			}
+			stats.RowsExamined += len(matches)
+			matched := false
+			for _, m := range matches {
+				row[rightIdx] = m.vals
+				setScope(sc, row)
+				ok, err := sc.eval(j.On)
+				if err != nil {
+					return nil, err
+				}
+				if ok.IsNull() || !ok.Bool() {
+					continue
+				}
+				matched = true
+				out := make(jrow, len(row))
+				copy(out, row)
+				next = append(next, out)
+			}
+			row[rightIdx] = nil
+			if !matched && j.Left {
+				out := make(jrow, len(row))
+				copy(out, row)
+				next = append(next, out)
+			}
+		}
+		cur = next
+	}
+
+	// WHERE filter over joined rows.
+	if st.Where != nil {
+		filtered := cur[:0]
+		for _, row := range cur {
+			setScope(sc, row)
+			ok, err := sc.eval(st.Where)
+			if err != nil {
+				return nil, err
+			}
+			if !ok.IsNull() && ok.Bool() {
+				filtered = append(filtered, row)
+			}
+		}
+		cur = filtered
+	}
+
+	aggregated := len(st.GroupBy) > 0
+	for _, se := range st.Exprs {
+		if !se.Star && containsAggregate(se.Expr) {
+			aggregated = true
+		}
+	}
+
+	var set *ResultSet
+	if aggregated {
+		set, err = e.aggSelect(sc, st, cur)
+	} else {
+		set, err = e.plainSelect(sc, st, cur)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	if st.Distinct {
+		set.Rows = distinctRows(set.Rows)
+	}
+	if set.Rows, err = applyLimit(st, set.Rows, e); err != nil {
+		return nil, err
+	}
+	stats.RowsReturned = len(set.Rows)
+	return &Result{Set: set, Stats: stats, SQL: st.String()}, nil
+}
+
+func setScope(sc *scope, row jrow) {
+	for i := range sc.tables {
+		sc.tables[i].vals = row[i]
+	}
+}
+
+// joinEqPattern finds `rightRef.col = expr` (or mirrored) in the ON clause
+// where expr does not mention rightRef; returns the column position or -1.
+func joinEqPattern(on Expr, rightRef string, rightTbl *Table) (int, Expr) {
+	for _, c := range conjuncts(on) {
+		b, ok := c.(*Binary)
+		if !ok || b.Op != "=" {
+			continue
+		}
+		for _, try := range [2][2]Expr{{b.L, b.R}, {b.R, b.L}} {
+			col, ok := try[0].(*ColRef)
+			if !ok || strings.ToLower(col.Table) != rightRef {
+				continue
+			}
+			pos, ok := rightTbl.ColPos(col.Name)
+			if !ok {
+				continue
+			}
+			mentionsRight := false
+			walkExpr(try[1], func(x Expr) {
+				if cr, ok := x.(*ColRef); ok && strings.ToLower(cr.Table) == rightRef {
+					mentionsRight = true
+				}
+			})
+			if !mentionsRight {
+				return pos, try[1]
+			}
+		}
+	}
+	return -1, nil
+}
+
+// sortableRow pairs projected values with ORDER BY keys.
+type sortableRow struct {
+	proj []Value
+	keys []Value
+}
+
+func (e *Engine) plainSelect(sc *scope, st *SelectStmt, rows []jrow) (*ResultSet, error) {
+	cols := projectionColumns(sc, st)
+	out := make([]sortableRow, 0, len(rows))
+	for _, row := range rows {
+		setScope(sc, row)
+		proj, aliases, err := projectRow(sc, st)
+		if err != nil {
+			return nil, err
+		}
+		keys, err := orderKeys(sc, st, aliases, nil, nil)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, sortableRow{proj, keys})
+	}
+	sortRows(st, out)
+	set := &ResultSet{Columns: cols}
+	for _, r := range out {
+		set.Rows = append(set.Rows, r.proj)
+	}
+	return set, nil
+}
+
+// aggSelect groups rows and evaluates aggregate projections per group.
+func (e *Engine) aggSelect(sc *scope, st *SelectStmt, rows []jrow) (*ResultSet, error) {
+	type group struct {
+		key  string
+		rows []jrow
+	}
+	var groups []*group
+	index := map[string]*group{}
+	if len(st.GroupBy) == 0 {
+		g := &group{key: ""}
+		g.rows = rows
+		groups = append(groups, g)
+	} else {
+		for _, row := range rows {
+			setScope(sc, row)
+			var kb strings.Builder
+			for _, ge := range st.GroupBy {
+				v, err := sc.eval(ge)
+				if err != nil {
+					return nil, err
+				}
+				kb.WriteString(v.key())
+				kb.WriteByte(0x1f)
+			}
+			k := kb.String()
+			g, ok := index[k]
+			if !ok {
+				g = &group{key: k}
+				index[k] = g
+				groups = append(groups, g)
+			}
+			g.rows = append(g.rows, row)
+		}
+	}
+
+	cols := projectionColumns(sc, st)
+	var out []sortableRow
+	for _, g := range groups {
+		if st.Having != nil {
+			v, err := evalAgg(sc, st.Having, g.rows)
+			if err != nil {
+				return nil, err
+			}
+			if v.IsNull() || !v.Bool() {
+				continue
+			}
+		}
+		var proj []Value
+		aliases := map[string]Value{}
+		for _, se := range st.Exprs {
+			if se.Star {
+				return nil, fmt.Errorf("sqlengine: SELECT * cannot be mixed with aggregates")
+			}
+			v, err := evalAgg(sc, se.Expr, g.rows)
+			if err != nil {
+				return nil, err
+			}
+			proj = append(proj, v)
+			if se.Alias != "" {
+				aliases[strings.ToLower(se.Alias)] = v
+			}
+		}
+		keys, err := orderKeys(sc, st, aliases, g.rows, evalAgg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, sortableRow{proj, keys})
+	}
+	sortRows(st, out)
+	set := &ResultSet{Columns: cols}
+	for _, r := range out {
+		set.Rows = append(set.Rows, r.proj)
+	}
+	return set, nil
+}
+
+// evalAgg evaluates an expression over a group: aggregates fold the group,
+// other nodes evaluate against the group's first row.
+func evalAgg(sc *scope, e Expr, group []jrow) (Value, error) {
+	switch e := e.(type) {
+	case *FuncCall:
+		if !isAggregate(e.Name) {
+			if len(group) > 0 {
+				setScope(sc, group[0])
+			}
+			return sc.eval(e)
+		}
+		return foldAggregate(sc, e, group)
+	case *Binary:
+		l, err := evalAgg(sc, e.L, group)
+		if err != nil {
+			return Null, err
+		}
+		r, err := evalAgg(sc, e.R, group)
+		if err != nil {
+			return Null, err
+		}
+		tmp := &Binary{e.Op, &Literal{l}, &Literal{r}}
+		return sc.evalBinary(tmp)
+	case *Unary:
+		x, err := evalAgg(sc, e.X, group)
+		if err != nil {
+			return Null, err
+		}
+		return sc.eval(&Unary{e.Op, &Literal{x}})
+	default:
+		if len(group) > 0 {
+			setScope(sc, group[0])
+		}
+		return sc.eval(e)
+	}
+}
+
+func foldAggregate(sc *scope, f *FuncCall, group []jrow) (Value, error) {
+	if f.Name == "COUNT" && f.Star {
+		return NewInt(int64(len(group))), nil
+	}
+	if len(f.Args) != 1 {
+		return Null, fmt.Errorf("sqlengine: %s expects one argument", f.Name)
+	}
+	var count int64
+	var sumF float64
+	var sumI int64
+	anyFloat := false
+	var minV, maxV Value
+	seen := map[string]bool{}
+	for _, row := range group {
+		setScope(sc, row)
+		v, err := sc.eval(f.Args[0])
+		if err != nil {
+			return Null, err
+		}
+		if v.IsNull() {
+			continue
+		}
+		if f.Distinct {
+			k := v.key()
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+		}
+		count++
+		if v.Kind() == KindFloat {
+			anyFloat = true
+		}
+		sumF += v.Float()
+		sumI += v.Int()
+		if minV.IsNull() || Compare(v, minV) < 0 {
+			minV = v
+		}
+		if maxV.IsNull() || Compare(v, maxV) > 0 {
+			maxV = v
+		}
+	}
+	switch f.Name {
+	case "COUNT":
+		return NewInt(count), nil
+	case "SUM":
+		if count == 0 {
+			return Null, nil
+		}
+		if anyFloat {
+			return NewFloat(sumF), nil
+		}
+		return NewInt(sumI), nil
+	case "AVG":
+		if count == 0 {
+			return Null, nil
+		}
+		return NewFloat(sumF / float64(count)), nil
+	case "MIN":
+		return minV, nil
+	case "MAX":
+		return maxV, nil
+	}
+	return Null, fmt.Errorf("sqlengine: unknown aggregate %s", f.Name)
+}
+
+// projectionColumns derives output column names.
+func projectionColumns(sc *scope, st *SelectStmt) []string {
+	var cols []string
+	for _, se := range st.Exprs {
+		if se.Star {
+			for _, t := range sc.tables {
+				for _, c := range t.tbl.Columns {
+					cols = append(cols, c.Name)
+				}
+			}
+			continue
+		}
+		cols = append(cols, selectColName(se))
+	}
+	return cols
+}
+
+func selectColName(se SelectExpr) string {
+	if se.Alias != "" {
+		return se.Alias
+	}
+	if c, ok := se.Expr.(*ColRef); ok {
+		return c.Name
+	}
+	return se.Expr.String()
+}
+
+// projectRow evaluates the projection for the current scope row.
+func projectRow(sc *scope, st *SelectStmt) ([]Value, map[string]Value, error) {
+	var proj []Value
+	aliases := map[string]Value{}
+	for _, se := range st.Exprs {
+		if se.Star {
+			for _, t := range sc.tables {
+				if t.vals == nil {
+					for range t.tbl.Columns {
+						proj = append(proj, Null)
+					}
+				} else {
+					proj = append(proj, t.vals...)
+				}
+			}
+			continue
+		}
+		v, err := sc.eval(se.Expr)
+		if err != nil {
+			return nil, nil, err
+		}
+		proj = append(proj, v)
+		if se.Alias != "" {
+			aliases[strings.ToLower(se.Alias)] = v
+		}
+	}
+	return proj, aliases, nil
+}
+
+// orderKeys computes ORDER BY sort keys for the current row/group. Bare
+// column references matching a projection alias use the projected value.
+func orderKeys(sc *scope, st *SelectStmt, aliases map[string]Value, group []jrow,
+	aggEval func(*scope, Expr, []jrow) (Value, error)) ([]Value, error) {
+	if len(st.OrderBy) == 0 {
+		return nil, nil
+	}
+	keys := make([]Value, len(st.OrderBy))
+	for i, item := range st.OrderBy {
+		if c, ok := item.Expr.(*ColRef); ok && c.Table == "" {
+			if v, hit := aliases[strings.ToLower(c.Name)]; hit {
+				keys[i] = v
+				continue
+			}
+		}
+		var v Value
+		var err error
+		if aggEval != nil {
+			v, err = aggEval(sc, item.Expr, group)
+		} else {
+			v, err = sc.eval(item.Expr)
+		}
+		if err != nil {
+			return nil, err
+		}
+		keys[i] = v
+	}
+	return keys, nil
+}
+
+func sortRows(st *SelectStmt, rows []sortableRow) {
+	if len(st.OrderBy) == 0 {
+		return
+	}
+	sort.SliceStable(rows, func(i, j int) bool {
+		for k, item := range st.OrderBy {
+			c := Compare(rows[i].keys[k], rows[j].keys[k])
+			if c == 0 {
+				continue
+			}
+			if item.Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+}
+
+func distinctRows(rows [][]Value) [][]Value {
+	seen := map[string]bool{}
+	out := rows[:0]
+	for _, r := range rows {
+		var kb strings.Builder
+		for _, v := range r {
+			kb.WriteString(v.key())
+			kb.WriteByte(0x1f)
+		}
+		k := kb.String()
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, r)
+	}
+	return out
+}
+
+func applyLimit(st *SelectStmt, rows [][]Value, eng *Engine) ([][]Value, error) {
+	offset := 0
+	if st.Offset != nil {
+		v, ok := constEval(st.Offset, eng)
+		if !ok {
+			return nil, fmt.Errorf("sqlengine: OFFSET must be constant")
+		}
+		offset = int(v.Int())
+	}
+	if offset > 0 {
+		if offset >= len(rows) {
+			return nil, nil
+		}
+		rows = rows[offset:]
+	}
+	if st.Limit != nil {
+		v, ok := constEval(st.Limit, eng)
+		if !ok {
+			return nil, fmt.Errorf("sqlengine: LIMIT must be constant")
+		}
+		n := int(v.Int())
+		if n < len(rows) {
+			rows = rows[:n]
+		}
+	}
+	return rows, nil
+}

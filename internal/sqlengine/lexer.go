@@ -1,0 +1,173 @@
+package sqlengine
+
+import (
+	"fmt"
+	"strings"
+)
+
+// tokenKind classifies lexer tokens.
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokKeyword
+	tokInt
+	tokFloat
+	tokString
+	tokParam // ?
+	tokSymbol
+)
+
+type token struct {
+	kind tokenKind
+	text string // keywords uppercased, idents as written
+	pos  int    // byte offset for error messages
+}
+
+// keywords recognized by the dialect. Idents matching these (case
+// insensitively) lex as keywords.
+var keywords = map[string]bool{
+	"SELECT": true, "INSERT": true, "UPDATE": true, "DELETE": true,
+	"CREATE": true, "DROP": true, "TABLE": true, "DATABASE": true,
+	"INTO": true, "VALUES": true, "SET": true, "FROM": true, "WHERE": true,
+	"AND": true, "OR": true, "NOT": true, "NULL": true, "TRUE": true,
+	"FALSE": true, "ORDER": true, "BY": true, "ASC": true, "DESC": true,
+	"LIMIT": true, "OFFSET": true, "GROUP": true, "JOIN": true, "INNER": true,
+	"LEFT": true, "ON": true, "AS": true, "IN": true, "IS": true,
+	"LIKE": true, "BETWEEN": true, "PRIMARY": true, "KEY": true,
+	"INDEX": true, "UNIQUE": true, "IF": true, "EXISTS": true,
+	"BEGIN": true, "COMMIT": true, "ROLLBACK": true, "USE": true,
+	"EXPLAIN": true, "SHOW": true, "DESCRIBE": true,
+	"INT": true, "INTEGER": true, "BIGINT": true, "DOUBLE": true,
+	"FLOAT": true, "VARCHAR": true, "TEXT": true, "BOOLEAN": true,
+	"BOOL": true, "TIMESTAMP": true, "DATETIME": true,
+	"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true,
+	"DISTINCT": true, "HAVING": true, "TRUNCATE": true,
+}
+
+// lexError is a tokenization failure.
+type lexError struct {
+	pos int
+	msg string
+}
+
+func (e *lexError) Error() string { return fmt.Sprintf("lex error at offset %d: %s", e.pos, e.msg) }
+
+// lex tokenizes a SQL string.
+func lex(sql string) ([]token, error) {
+	var toks []token
+	i := 0
+	n := len(sql)
+	for i < n {
+		c := sql[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '-' && i+1 < n && sql[i+1] == '-':
+			for i < n && sql[i] != '\n' {
+				i++
+			}
+		case isDigit(c) || (c == '.' && i+1 < n && isDigit(sql[i+1])):
+			start := i
+			isFloat := false
+			for i < n && (isDigit(sql[i]) || sql[i] == '.' || sql[i] == 'e' || sql[i] == 'E' ||
+				((sql[i] == '+' || sql[i] == '-') && i > start && (sql[i-1] == 'e' || sql[i-1] == 'E'))) {
+				if sql[i] == '.' || sql[i] == 'e' || sql[i] == 'E' {
+					isFloat = true
+				}
+				i++
+			}
+			kind := tokInt
+			if isFloat {
+				kind = tokFloat
+			}
+			toks = append(toks, token{kind, sql[start:i], start})
+		case c == '\'':
+			start := i
+			i++
+			var b strings.Builder
+			closed := false
+			for i < n {
+				if sql[i] == '\'' {
+					if i+1 < n && sql[i+1] == '\'' { // escaped quote
+						b.WriteByte('\'')
+						i += 2
+						continue
+					}
+					closed = true
+					i++
+					break
+				}
+				if sql[i] == '\\' && i+1 < n { // backslash escapes
+					switch sql[i+1] {
+					case 'n':
+						b.WriteByte('\n')
+					case 't':
+						b.WriteByte('\t')
+					case '\'', '\\':
+						b.WriteByte(sql[i+1])
+					default:
+						b.WriteByte(sql[i+1])
+					}
+					i += 2
+					continue
+				}
+				b.WriteByte(sql[i])
+				i++
+			}
+			if !closed {
+				return nil, &lexError{start, "unterminated string literal"}
+			}
+			toks = append(toks, token{tokString, b.String(), start})
+		case isIdentStart(c):
+			start := i
+			for i < n && isIdentPart(sql[i]) {
+				i++
+			}
+			word := sql[start:i]
+			upper := strings.ToUpper(word)
+			if keywords[upper] {
+				toks = append(toks, token{tokKeyword, upper, start})
+			} else {
+				toks = append(toks, token{tokIdent, word, start})
+			}
+		case c == '`': // quoted identifier
+			start := i
+			i++
+			j := strings.IndexByte(sql[i:], '`')
+			if j < 0 {
+				return nil, &lexError{start, "unterminated quoted identifier"}
+			}
+			toks = append(toks, token{tokIdent, sql[i : i+j], start})
+			i += j + 1
+		case c == '?':
+			toks = append(toks, token{tokParam, "?", i})
+			i++
+		default:
+			start := i
+			// Multi-byte operators first.
+			for _, op := range []string{"<=", ">=", "<>", "!="} {
+				if strings.HasPrefix(sql[i:], op) {
+					toks = append(toks, token{tokSymbol, op, start})
+					i += 2
+					goto next
+				}
+			}
+			switch c {
+			case '(', ')', ',', '*', '+', '-', '/', '%', '=', '<', '>', '.', ';':
+				toks = append(toks, token{tokSymbol, string(c), start})
+				i++
+			default:
+				return nil, &lexError{start, fmt.Sprintf("unexpected character %q", c)}
+			}
+		next:
+		}
+	}
+	toks = append(toks, token{tokEOF, "", n})
+	return toks, nil
+}
+
+func isDigit(c byte) bool      { return c >= '0' && c <= '9' }
+func isIdentStart(c byte) bool { return c == '_' || (c|0x20 >= 'a' && c|0x20 <= 'z') }
+func isIdentPart(c byte) bool  { return isIdentStart(c) || isDigit(c) || c == '$' }

@@ -1,0 +1,101 @@
+package sqlengine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ShowStmt is SHOW DATABASES | SHOW TABLES.
+type ShowStmt struct {
+	What string // "DATABASES" or "TABLES"
+}
+
+func (s *ShowStmt) String() string { return "SHOW " + s.What }
+func (*ShowStmt) stmt()            {}
+
+// DescribeStmt is DESCRIBE <table>.
+type DescribeStmt struct {
+	Table TableRef
+}
+
+func (s *DescribeStmt) String() string { return "DESCRIBE " + s.Table.String() }
+func (*DescribeStmt) stmt()            {}
+
+// execShow lists databases or the session database's tables.
+func (e *Engine) execShow(s *Session, st *ShowStmt) (*Result, error) {
+	switch st.What {
+	case "DATABASES":
+		var names []string
+		for _, d := range e.dbs {
+			names = append(names, d.Name)
+		}
+		sort.Strings(names)
+		set := &ResultSet{Columns: []string{"Database"}}
+		for _, n := range names {
+			set.Rows = append(set.Rows, []Value{NewString(n)})
+		}
+		return &Result{Set: set, Stats: ExecStats{Class: ClassRead, RowsReturned: len(set.Rows)}, SQL: st.String()}, nil
+	case "TABLES":
+		if s.db == "" {
+			return nil, fmt.Errorf("sqlengine: no database selected")
+		}
+		db, ok := e.dbs[strings.ToLower(s.db)]
+		if !ok {
+			return nil, fmt.Errorf("sqlengine: unknown database %s", s.db)
+		}
+		var names []string
+		for _, t := range db.tables {
+			names = append(names, t.Name)
+		}
+		sort.Strings(names)
+		set := &ResultSet{Columns: []string{"Tables_in_" + db.Name}}
+		for _, n := range names {
+			set.Rows = append(set.Rows, []Value{NewString(n)})
+		}
+		return &Result{Set: set, Stats: ExecStats{Class: ClassRead, RowsReturned: len(set.Rows)}, SQL: st.String()}, nil
+	default:
+		return nil, fmt.Errorf("sqlengine: cannot SHOW %s", st.What)
+	}
+}
+
+// execDescribe reports a table's columns MySQL-style.
+func (e *Engine) execDescribe(s *Session, st *DescribeStmt) (*Result, error) {
+	_, tbl, err := s.resolveTable(st.Table)
+	if err != nil {
+		return nil, err
+	}
+	set := &ResultSet{Columns: []string{"Field", "Type", "Null", "Key"}}
+	for i, c := range tbl.Columns {
+		null := "YES"
+		if c.NotNull {
+			null = "NO"
+		}
+		key := ""
+		for _, pk := range tbl.pkCols {
+			if pk == i {
+				key = "PRI"
+			}
+		}
+		if key == "" {
+			for _, ix := range tbl.indexes {
+				for _, pos := range ix.Cols {
+					if pos == i {
+						if ix.Unique {
+							key = "UNI"
+						} else {
+							key = "MUL"
+						}
+					}
+				}
+			}
+		}
+		set.Rows = append(set.Rows, []Value{
+			NewString(c.Name),
+			NewString(strings.ToLower(typeName(c.Type, c.TypeArg))),
+			NewString(null),
+			NewString(key),
+		})
+	}
+	return &Result{Set: set, Stats: ExecStats{Class: ClassRead, RowsReturned: len(set.Rows)}, SQL: st.String()}, nil
+}

@@ -1,0 +1,109 @@
+package sqlengine
+
+import "fmt"
+
+// Snapshot is a consistent deep copy of an engine's entire catalog — the
+// mysqldump/xtrabackup equivalent used to provision new replicas from a
+// running master instead of replaying history from the beginning.
+type Snapshot struct {
+	dbs []snapshotDB
+}
+
+type snapshotDB struct {
+	name   string
+	tables []snapshotTable
+}
+
+type snapshotTable struct {
+	name    string
+	columns []ColumnDef
+	pkCols  []string
+	indexes []IndexDef
+	rows    [][]Value
+}
+
+// NumRows returns the total row count across all tables.
+func (s *Snapshot) NumRows() int {
+	n := 0
+	for _, d := range s.dbs {
+		for _, t := range d.tables {
+			n += len(t.rows)
+		}
+	}
+	return n
+}
+
+// Snapshot captures every database, table definition and row. The caller
+// must ensure the engine is quiescent (on the simulation timeline any
+// single instant is quiescent).
+func (e *Engine) Snapshot() *Snapshot {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	snap := &Snapshot{}
+	for _, db := range e.dbs {
+		sd := snapshotDB{name: db.Name}
+		for _, tbl := range db.tables {
+			st := snapshotTable{
+				name:    tbl.Name,
+				columns: append([]ColumnDef(nil), tbl.Columns...),
+			}
+			for _, pos := range tbl.pkCols {
+				st.pkCols = append(st.pkCols, tbl.Columns[pos].Name)
+			}
+			for _, ix := range tbl.indexes {
+				def := IndexDef{Name: ix.Name, Unique: ix.Unique}
+				for _, pos := range ix.Cols {
+					def.Columns = append(def.Columns, tbl.Columns[pos].Name)
+				}
+				st.indexes = append(st.indexes, def)
+			}
+			for _, r := range tbl.rows {
+				st.rows = append(st.rows, append([]Value(nil), r.vals...))
+			}
+			sd.tables = append(sd.tables, st)
+		}
+		snap.dbs = append(snap.dbs, sd)
+	}
+	return snap
+}
+
+// Restore replaces the engine's entire catalog with the snapshot's
+// contents. Inline primary-key flags were normalized into the PK column
+// list at capture time, so they are cleared on the restored definitions.
+func (e *Engine) Restore(snap *Snapshot) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	dbs := make(map[string]*Database, len(snap.dbs))
+	for _, sd := range snap.dbs {
+		db := &Database{Name: sd.name, tables: make(map[string]*Table, len(sd.tables))}
+		for _, st := range sd.tables {
+			cols := append([]ColumnDef(nil), st.columns...)
+			for i := range cols {
+				cols[i].PrimaryKey = false // carried via pkCols instead
+			}
+			tbl, err := NewTable(st.name, cols, st.pkCols, st.indexes)
+			if err != nil {
+				return fmt.Errorf("sqlengine: restore %s.%s: %w", sd.name, st.name, err)
+			}
+			for _, row := range st.rows {
+				if _, err := tbl.Insert(append([]Value(nil), row...)); err != nil {
+					return fmt.Errorf("sqlengine: restore %s.%s row: %w", sd.name, st.name, err)
+				}
+			}
+			db.tables[lowerKey(st.name)] = tbl
+		}
+		dbs[lowerKey(sd.name)] = db
+	}
+	e.dbs = dbs
+	return nil
+}
+
+func lowerKey(s string) string {
+	b := []byte(s)
+	for i, c := range b {
+		if c >= 'A' && c <= 'Z' {
+			b[i] = c + 32
+		}
+	}
+	return string(b)
+}
