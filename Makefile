@@ -1,8 +1,14 @@
 GO ?= go
 
-.PHONY: all build test race bench figures examples vet fmt clean
+.PHONY: all build test race bench figures examples vet fmt clean check
 
 all: build vet test
+
+# The CI gate (.github/workflows/ci.yml runs exactly this).
+check:
+	$(GO) build ./...
+	$(GO) vet ./...
+	$(GO) test -race ./...
 
 build:
 	$(GO) build ./...
@@ -37,6 +43,7 @@ examples:
 	$(GO) run ./examples/georeplication
 	$(GO) run ./examples/failover
 	$(GO) run ./examples/instancelottery
+	$(GO) run ./examples/chaos
 
 clean:
 	rm -rf results test_output.txt bench_output.txt

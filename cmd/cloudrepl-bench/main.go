@@ -27,7 +27,7 @@ import (
 func main() {
 	figs := flag.String("fig", "", "comma-separated figures to regenerate (2,3,4,5,6)")
 	rtt := flag.Bool("rtt", false, "measure the half-RTT table (T-RTT)")
-	ablations := flag.String("ablation", "", "comma-separated ablations (sync,lb,var,prio,arch)")
+	ablations := flag.String("ablation", "", "comma-separated ablations (sync,lb,var,prio,arch,chaos)")
 	all := flag.Bool("all", false, "regenerate every figure, table and ablation")
 	short := flag.Bool("short", false, "use the 2/5/1-minute quick protocol instead of 10/20/5")
 	seed := flag.Int64("seed", 1, "base random seed")
@@ -51,7 +51,7 @@ func main() {
 		want["rtt"] = true
 	}
 	if *all {
-		for _, k := range []string{"fig2", "fig3", "fig4", "fig5", "fig6", "rtt", "ab-sync", "ab-lb", "ab-var", "ab-prio", "ab-arch"} {
+		for _, k := range []string{"fig2", "fig3", "fig4", "fig5", "fig6", "rtt", "ab-sync", "ab-lb", "ab-var", "ab-prio", "ab-arch", "ab-chaos"} {
 			want[k] = true
 		}
 	}
@@ -164,6 +164,15 @@ func main() {
 			fatal(err)
 		}
 		fmt.Println(experiment.RenderArchitectures(rows))
+	}
+
+	if want["ab-chaos"] {
+		banner("ablation: fault injection and recovery (A-CHAOS)")
+		r, err := experiment.AblationChaos(opts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(experiment.RenderChaos(r))
 	}
 
 	if want["ab-var"] {

@@ -1,0 +1,175 @@
+package chaos
+
+import (
+	"testing"
+	"time"
+
+	"cloudrepl/internal/cloud"
+	"cloudrepl/internal/cluster"
+	"cloudrepl/internal/repl"
+	"cloudrepl/internal/server"
+	"cloudrepl/internal/sim"
+	"cloudrepl/internal/sqlengine"
+)
+
+func TestScheduleBuilders(t *testing.T) {
+	a := cloud.Placement{Region: cloud.USWest1, Zone: "a"}
+	b := cloud.Placement{Region: cloud.USWest1, Zone: "b"}
+	s := new(Schedule).
+		CrashFor(time.Second, 2*time.Second, "node").
+		PartitionFor(4*time.Second, time.Second, a, b).
+		SpikeFor(6*time.Second, time.Second, a, b, 50*time.Millisecond, 0.1)
+	if len(s.Events) != 6 {
+		t.Fatalf("events: %d, want 6 (crash+restart, partition+heal, spike+clear)", len(s.Events))
+	}
+	wantKinds := []Kind{Crash, Restart, Partition, Heal, Spike, ClearSpike}
+	for i, e := range s.Events {
+		if e.Kind != wantKinds[i] {
+			t.Fatalf("event %d kind %v, want %v", i, e.Kind, wantKinds[i])
+		}
+	}
+	if s.Events[1].At != 3*time.Second {
+		t.Fatalf("CrashFor restart at %v, want crash+downFor", s.Events[1].At)
+	}
+}
+
+func TestInjectorAppliesScheduleInOrder(t *testing.T) {
+	env := sim.NewEnv(1)
+	c := cloud.New(env, cloud.DefaultConfig())
+	a := cloud.Placement{Region: cloud.USWest1, Zone: "a"}
+	b := cloud.Placement{Region: cloud.USWest1, Zone: "b"}
+	inst := c.Launch("node", cloud.Small, a)
+
+	sched := new(Schedule).
+		CrashFor(2*time.Second, 3*time.Second, "node").
+		PartitionFor(time.Second, 5*time.Second, a, b)
+	inj := Start(env, c, sched)
+
+	env.RunUntil(1500 * time.Millisecond)
+	if c.Network().Reachable(a, b) {
+		t.Fatal("path still reachable after the scheduled partition")
+	}
+	if !inst.Up() {
+		t.Fatal("instance crashed before its scheduled time")
+	}
+	env.RunUntil(3 * time.Second)
+	if inst.Up() {
+		t.Fatal("instance still up after the scheduled crash")
+	}
+	env.RunUntil(10 * time.Second)
+	if !inst.Up() {
+		t.Fatal("instance not restarted")
+	}
+	if !c.Network().Reachable(a, b) {
+		t.Fatal("path not healed")
+	}
+
+	got := inj.Counters()
+	want := Counters{Crashes: 1, Restarts: 1, Partitions: 1, Heals: 1}
+	if got != want {
+		t.Fatalf("counters %+v, want %+v", got, want)
+	}
+	log := inj.Log()
+	if len(log) != 4 {
+		t.Fatalf("log has %d entries, want 4: %v", len(log), log)
+	}
+	for i := 1; i < len(log); i++ {
+		if log[i].At < log[i-1].At {
+			t.Fatalf("log out of fire order: %v", log)
+		}
+	}
+	env.Stop()
+	env.Shutdown()
+}
+
+func TestInjectorSkipsUnknownTarget(t *testing.T) {
+	env := sim.NewEnv(2)
+	c := cloud.New(env, cloud.DefaultConfig())
+	inj := Start(env, c, new(Schedule).Crash(time.Second, "ghost"))
+	env.RunUntil(2 * time.Second)
+	if got := inj.Counters(); got.Skipped != 1 || got.Crashes != 0 {
+		t.Fatalf("counters %+v, want 1 skip and no crash", got)
+	}
+	if log := inj.Log(); len(log) != 1 || !log[0].Skipped {
+		t.Fatalf("log: %v", inj.Log())
+	}
+	env.Stop()
+	env.Shutdown()
+}
+
+func TestNilScheduleIsNoop(t *testing.T) {
+	env := sim.NewEnv(3)
+	c := cloud.New(env, cloud.DefaultConfig())
+	inj := Start(env, c, nil)
+	env.Run()
+	if len(inj.Log()) != 0 || inj.Counters() != (Counters{}) {
+		t.Fatalf("nil schedule did something: %v %+v", inj.Log(), inj.Counters())
+	}
+	env.Shutdown()
+}
+
+// TestSlaveCrashRestartCatchesUp is the chaos smoke test: writes flow while
+// a replica reboots; after the restart the replica drains its relay backlog
+// and converges to the master's binlog position, and the injector's
+// counters reconcile with the schedule.
+func TestSlaveCrashRestartCatchesUp(t *testing.T) {
+	env := sim.NewEnv(4)
+	c := cloud.New(env, cloud.DefaultConfig())
+	place := cloud.Placement{Region: cloud.USWest1, Zone: "a"}
+	preload := func(srv *server.DBServer) error {
+		sess := srv.Session("")
+		for _, sql := range []string{
+			"CREATE DATABASE app",
+			"CREATE TABLE app.t (id BIGINT PRIMARY KEY, v VARCHAR(20))",
+		} {
+			if _, err := srv.ExecFree(sess, sql); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	clu, err := cluster.New(env, c, cluster.Config{
+		Mode:    repl.Async,
+		Cost:    server.DefaultCostModel(),
+		Master:  cluster.NodeSpec{Place: place},
+		Slaves:  []cluster.NodeSpec{{Place: place}, {Place: place}},
+		Preload: preload,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	inj := Start(env, c, new(Schedule).CrashFor(5*time.Second, 10*time.Second, "slave1"))
+
+	writes := 0
+	env.Go("writer", func(p *sim.Proc) {
+		sess := clu.Master().Srv.Session("app")
+		for i := 0; p.Now() < 30*time.Second; i++ {
+			_, err := clu.Master().Srv.Exec(p, sess, "INSERT INTO t (id, v) VALUES (?, 'x')",
+				sqlengine.NewInt(int64(i)))
+			if err != nil {
+				t.Errorf("write %d: %v", i, err)
+				return
+			}
+			writes++
+			p.Sleep(200 * time.Millisecond)
+		}
+	})
+
+	env.RunUntil(time.Minute)
+	env.Stop()
+	env.Shutdown()
+
+	if writes == 0 {
+		t.Fatal("no writes completed")
+	}
+	if got := inj.Counters(); got.Crashes != 1 || got.Restarts != 1 || got.Skipped != 0 {
+		t.Fatalf("counters %+v do not reconcile with the schedule", got)
+	}
+	last := clu.Master().Srv.Log.LastSeq()
+	for _, sl := range clu.Slaves() {
+		if sl.AppliedSeq() != last {
+			t.Fatalf("%s applied %d of %d events after its reboot", sl.Srv.Name, sl.AppliedSeq(), last)
+		}
+	}
+}

@@ -151,6 +151,7 @@ type Instance struct {
 
 	cloud *Cloud
 	up    bool
+	upSig *sim.Signal // broadcast on Restart
 }
 
 // Launch starts an instance of type t at placement pl. CPU speed, clock
@@ -167,6 +168,7 @@ func (c *Cloud) Launch(name string, t InstanceType, pl Placement) *Instance {
 		SpeedFactor: 1,
 		cloud:       c,
 		up:          true,
+		upSig:       sim.NewSignal(c.env),
 	}
 	if len(c.cfg.CPUModels) > 0 {
 		inst.CPUModel = c.cfg.CPUModels[rng.Intn(len(c.cfg.CPUModels))]
@@ -191,8 +193,22 @@ func (i *Instance) Up() bool { return i.up }
 func (i *Instance) Terminate() { i.up = false }
 
 // Restart brings a terminated instance back up (state is retained; the
-// database layer decides what survives).
-func (i *Instance) Restart() { i.up = true }
+// database layer decides what survives) and wakes AwaitUp waiters.
+func (i *Instance) Restart() {
+	i.up = true
+	if i.upSig != nil {
+		i.upSig.Broadcast()
+	}
+}
+
+// AwaitUp blocks the calling process until the instance is running —
+// how crash-tolerant components (replication threads) park across an
+// instance crash instead of panicking or dropping work.
+func (i *Instance) AwaitUp(p *sim.Proc) {
+	for !i.up {
+		i.upSig.Wait(p)
+	}
+}
 
 // EffectiveSpeed returns the instance's per-core speed relative to the
 // reference small core: ECUPerCore × SpeedFactor.

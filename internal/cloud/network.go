@@ -69,33 +69,129 @@ func (l Latencies) Base(a, b Placement) time.Duration {
 	}
 }
 
-// Network samples message latencies on the virtual timeline.
+// PathFault is transient fault state injected on one unordered placement
+// pair: a full partition (no packet crosses until healed) and/or a latency
+// spike (extra one-way latency plus extra log-normal jitter).
+type PathFault struct {
+	Partitioned bool
+	// ExtraLatency is added to every sampled one-way latency on the path.
+	ExtraLatency time.Duration
+	// ExtraJitterSigma is added to the model's JitterSigma on the path.
+	ExtraJitterSigma float64
+}
+
+func (f PathFault) clear() bool {
+	return !f.Partitioned && f.ExtraLatency == 0 && f.ExtraJitterSigma == 0
+}
+
+// pathKey is an unordered placement pair.
+func pathKey(a, b Placement) [2]Placement {
+	if b.Region < a.Region || (b.Region == a.Region && b.Zone < a.Zone) {
+		a, b = b, a
+	}
+	return [2]Placement{a, b}
+}
+
+// Network samples message latencies on the virtual timeline and carries
+// injectable per-path fault state (partitions, latency spikes).
 type Network struct {
-	env *sim.Env
-	lat Latencies
+	env    *sim.Env
+	lat    Latencies
+	faults map[[2]Placement]PathFault
 }
 
 // NewNetwork creates a network bound to env with the given latency model.
 func NewNetwork(env *sim.Env, lat Latencies) *Network {
-	return &Network{env: env, lat: lat}
+	return &Network{env: env, lat: lat, faults: make(map[[2]Placement]PathFault)}
 }
 
 // Latencies returns the base latency model.
 func (n *Network) Latencies() Latencies { return n.lat }
 
-// OneWay samples a one-way latency between two placements.
+// Fault returns the current fault state on the a↔b path.
+func (n *Network) Fault(a, b Placement) PathFault { return n.faults[pathKey(a, b)] }
+
+func (n *Network) setFault(a, b Placement, mutate func(*PathFault)) {
+	k := pathKey(a, b)
+	f := n.faults[k]
+	mutate(&f)
+	if f.clear() {
+		delete(n.faults, k)
+		return
+	}
+	n.faults[k] = f
+}
+
+// Partition cuts the a↔b path in both directions until Heal.
+func (n *Network) Partition(a, b Placement) {
+	n.setFault(a, b, func(f *PathFault) { f.Partitioned = true })
+}
+
+// Heal restores connectivity on the a↔b path (latency spikes persist).
+func (n *Network) Heal(a, b Placement) {
+	n.setFault(a, b, func(f *PathFault) { f.Partitioned = false })
+}
+
+// Reachable reports whether packets currently cross the a↔b path.
+func (n *Network) Reachable(a, b Placement) bool { return !n.Fault(a, b).Partitioned }
+
+// SpikeLatency injects extra one-way latency and extra jitter on the a↔b
+// path until ClearSpike — a congested or flapping link.
+func (n *Network) SpikeLatency(a, b Placement, extra time.Duration, extraJitterSigma float64) {
+	n.setFault(a, b, func(f *PathFault) {
+		f.ExtraLatency = extra
+		f.ExtraJitterSigma = extraJitterSigma
+	})
+}
+
+// ClearSpike removes an injected latency spike from the a↔b path.
+func (n *Network) ClearSpike(a, b Placement) {
+	n.setFault(a, b, func(f *PathFault) {
+		f.ExtraLatency = 0
+		f.ExtraJitterSigma = 0
+	})
+}
+
+// OneWay samples a one-way latency between two placements, including any
+// injected latency spike on the path.
 func (n *Network) OneWay(a, b Placement) time.Duration {
 	base := n.lat.Base(a, b)
-	if n.lat.JitterSigma <= 0 {
+	sigma := n.lat.JitterSigma
+	if f, ok := n.faults[pathKey(a, b)]; ok {
+		base += f.ExtraLatency
+		sigma += f.ExtraJitterSigma
+	}
+	if sigma <= 0 {
 		return base
 	}
-	return sim.LogNormal(n.env.Rand(), base, n.lat.JitterSigma)
+	return sim.LogNormal(n.env.Rand(), base, sigma)
 }
 
 // Transit suspends the calling process for one sampled one-way latency —
-// the client side of a synchronous request or response leg.
+// the client side of a synchronous request or response leg. It ignores
+// partitions; callers that need partition awareness use TransitTimeout.
 func (n *Network) Transit(p *sim.Proc, a, b Placement) {
 	p.Sleep(n.OneWay(a, b))
+}
+
+// DefaultTransitTimeout bounds a synchronous leg over a partitioned path
+// when the caller supplies no explicit timeout.
+const DefaultTransitTimeout = 10 * time.Second
+
+// TransitTimeout is Transit for callers that must not hang on a partitioned
+// path: when a→b is reachable it sleeps one sampled latency and reports
+// true; when partitioned it sleeps the timeout (DefaultTransitTimeout when
+// zero) and reports false — the client waiting out a dead TCP connection.
+func (n *Network) TransitTimeout(p *sim.Proc, a, b Placement, timeout time.Duration) bool {
+	if n.Reachable(a, b) {
+		p.Sleep(n.OneWay(a, b))
+		return true
+	}
+	if timeout <= 0 {
+		timeout = DefaultTransitTimeout
+	}
+	p.Sleep(timeout)
+	return false
 }
 
 // Send delivers v into q after a sampled one-way latency without blocking
@@ -103,18 +199,47 @@ func (n *Network) Transit(p *sim.Proc, a, b Placement) {
 // two sends on the same pair may invert only if jitter reorders them;
 // ordered protocols (like the binlog stream) serialize on the receiving
 // queue position instead, so callers needing FIFO should use SendOrdered.
+// Sends on a partitioned path are dropped (at dispatch or at arrival).
 func Send[T any](n *Network, a, b Placement, q *sim.Queue[T], v T) {
-	n.env.Schedule(n.OneWay(a, b), func() { q.Put(v) })
+	Unicast(n, a, b, func() { q.Put(v) })
 }
+
+// Unicast runs deliver after a sampled one-way latency, dropping the
+// message if the a→b path is partitioned when it is sent or when it would
+// arrive — datagram semantics for acknowledgements and probes.
+func Unicast(n *Network, a, b Placement, deliver func()) {
+	if !n.Reachable(a, b) {
+		return
+	}
+	n.env.Schedule(n.OneWay(a, b), func() {
+		if n.Reachable(a, b) {
+			deliver()
+		}
+	})
+}
+
+// PipeRetryInterval is how often a Pipe re-probes a partitioned path for
+// its blocked head-of-line message (TCP retransmission cadence).
+const PipeRetryInterval = 500 * time.Millisecond
 
 // Pipe is a FIFO network channel between two placements: messages arrive
 // exactly in send order, each delayed by at least the sampled latency
-// (TCP-like ordering).
+// (TCP-like ordering). When the path is partitioned the stream blocks —
+// messages queue inside the pipe and drain in order once the partition
+// heals, like TCP retransmitting an unacknowledged segment.
 type Pipe[T any] struct {
 	net      *Network
 	from, to Placement
 	q        *sim.Queue[T]
 	lastAt   sim.Time
+
+	pending []pipeMsg[T] // in-flight messages, FIFO
+	pumping bool
+}
+
+type pipeMsg[T any] struct {
+	v  T
+	at sim.Time // earliest arrival (send time + sampled latency)
 }
 
 // NewPipe creates an ordered channel delivering into q.
@@ -129,8 +254,45 @@ func (pp *Pipe[T]) Send(v T) {
 		at = pp.lastAt // preserve FIFO despite jitter
 	}
 	pp.lastAt = at
-	pp.net.env.Schedule(at-pp.net.env.Now(), func() { pp.q.Put(v) })
+	pp.pending = append(pp.pending, pipeMsg[T]{v: v, at: at})
+	if !pp.pumping {
+		pp.pumping = true
+		pp.net.env.Schedule(at-pp.net.env.Now(), pp.pump)
+	}
 }
+
+// pump delivers the head-of-line message once its arrival time has passed
+// and the path is reachable, then reschedules itself for the next one.
+func (pp *Pipe[T]) pump() {
+	now := pp.net.env.Now()
+	if len(pp.pending) == 0 {
+		pp.pumping = false
+		return
+	}
+	head := pp.pending[0]
+	if now < head.at {
+		pp.net.env.Schedule(head.at-now, pp.pump)
+		return
+	}
+	if !pp.net.Reachable(pp.from, pp.to) {
+		pp.net.env.Schedule(PipeRetryInterval, pp.pump)
+		return
+	}
+	pp.q.Put(head.v)
+	pp.pending = pp.pending[1:]
+	if len(pp.pending) == 0 {
+		pp.pumping = false
+		return
+	}
+	next := pp.pending[0].at
+	if next < now {
+		next = now
+	}
+	pp.net.env.Schedule(next-now, pp.pump)
+}
+
+// InFlight returns the number of sent-but-undelivered messages.
+func (pp *Pipe[T]) InFlight() int { return len(pp.pending) }
 
 // Queue returns the delivery queue.
 func (pp *Pipe[T]) Queue() *sim.Queue[T] { return pp.q }

@@ -84,6 +84,7 @@ type Driver struct {
 	stop       bool
 
 	reads, writes, errors int
+	allOps, allErrs       int // every phase, not just steady state
 	perOp                 map[string]int
 	latency               metrics.Histogram
 	latencyR, latencyW    metrics.Histogram
@@ -146,6 +147,14 @@ func (d *Driver) StopEarly() { d.stop = true }
 // SteadyWindow returns the measurement window on the virtual timeline.
 func (d *Driver) SteadyWindow() (from, to sim.Time) { return d.steadyFrom, d.steadyTo }
 
+// CompletedOps returns operations completed successfully in any phase —
+// the cumulative counter chaos experiments sample to see throughput dip
+// and recovery around a fault, wherever it lands on the timeline.
+func (d *Driver) CompletedOps() int { return d.allOps }
+
+// TotalErrors returns failed operations in any phase.
+func (d *Driver) TotalErrors() int { return d.allErrs }
+
 // Result computes the run summary; call after the simulation has run past
 // the steady window.
 func (d *Driver) Result() Result {
@@ -186,11 +195,13 @@ func (d *Driver) oneOperation(p *sim.Proc) {
 	_, err := d.DB.Exec(p, o.sql, o.args...)
 	inSteady := p.Now() >= d.steadyFrom && p.Now() < d.steadyTo
 	if err != nil {
+		d.allErrs++
 		if inSteady {
 			d.errors++
 		}
 		return
 	}
+	d.allOps++
 	if inSteady {
 		d.latency.Record(p.Now() - t0)
 		d.perOp[o.name]++

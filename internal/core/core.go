@@ -16,6 +16,7 @@ import (
 	"cloudrepl/internal/cluster"
 	"cloudrepl/internal/pool"
 	"cloudrepl/internal/proxy"
+	"cloudrepl/internal/repl"
 	"cloudrepl/internal/sim"
 	"cloudrepl/internal/sqlengine"
 )
@@ -33,6 +34,13 @@ type Options struct {
 	// write, that connection's reads go only to slaves that have applied
 	// it (master fallback otherwise).
 	ReadYourWrites bool
+	// Retry configures client-side robustness (retry with backoff, slave
+	// eviction, statement timeouts, automatic master failover). The zero
+	// value keeps the legacy single-attempt behaviour; use
+	// proxy.DefaultRetryPolicy() for the chaos-hardened defaults. When
+	// Retry.FailoverOnMasterDown is set, the handle wires the proxy's
+	// master-failure hook to cluster promotion automatically.
+	Retry proxy.RetryPolicy
 	// Pool sizes the connection pool (default 64/64, wait forever).
 	Pool pool.Config
 }
@@ -52,6 +60,12 @@ func Open(clu *cluster.Cluster, opts Options) *DB {
 	}
 	px := proxy.New(clu.Env(), clu.Cloud().Network(), clu.Master(), opts.ClientPlace, opts.Balancer)
 	px.ReadYourWrites = opts.ReadYourWrites
+	px.Retry = opts.Retry
+	if opts.Retry.FailoverOnMasterDown {
+		px.OnMasterFailure = func(p *sim.Proc) (*repl.Master, error) {
+			return clu.Failover()
+		}
+	}
 	db := &DB{clu: clu, px: px, opts: opts}
 	db.pool = pool.New(clu.Env(), opts.Pool,
 		func() *proxy.Conn { return px.Connect(opts.Database) },

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"cloudrepl/internal/proxy"
+	"cloudrepl/internal/sim"
+	"cloudrepl/internal/sqlengine"
+)
+
+// TestAutomaticFailoverOnMasterCrash: with the retry policy armed, killing
+// the master mid-traffic promotes a slave through the proxy's failover
+// hook; client writes keep succeeding with no surfaced errors.
+func TestAutomaticFailoverOnMasterCrash(t *testing.T) {
+	env, db := newDB(t, 31, 2, Options{Retry: proxy.DefaultRetryPolicy()})
+	var failed int
+	written := 0
+	env.Go("app", func(p *sim.Proc) {
+		for i := 0; p.Now() < 30*time.Second; i++ {
+			_, err := db.Exec(p, "INSERT INTO t (id, v) VALUES (?, 'x')", sqlengine.NewInt(int64(i)))
+			if err != nil {
+				failed++
+			} else {
+				written++
+			}
+			p.Sleep(500 * time.Millisecond)
+		}
+	})
+	env.Schedule(10*time.Second, func() { db.Cluster().Master().Srv.Inst.Terminate() })
+	env.RunUntil(time.Minute)
+	env.Stop()
+	env.Shutdown()
+
+	if failed != 0 {
+		t.Fatalf("%d writes failed across the master crash", failed)
+	}
+	if written == 0 {
+		t.Fatal("no writes completed")
+	}
+	if name := db.Cluster().Master().Srv.Name; name == "master" {
+		t.Fatal("cluster still headed by the dead master")
+	}
+	if !db.Cluster().Master().Srv.Up() {
+		t.Fatal("promoted master is not up")
+	}
+	st := db.Stats().Proxy
+	if st.Failovers != 1 {
+		t.Fatalf("failovers = %d, want exactly 1: %+v", st.Failovers, st)
+	}
+	if st.Errors != 0 {
+		t.Fatalf("proxy surfaced %d errors", st.Errors)
+	}
+}
+
+// TestZeroRetryOptionPreservesLegacyFailure: without a retry policy a dead
+// master still surfaces ErrNoBackend (no hidden failover).
+func TestZeroRetryOptionPreservesLegacyFailure(t *testing.T) {
+	env, db := newDB(t, 32, 1, Options{})
+	db.Cluster().Master().Srv.Inst.Terminate()
+	var err error
+	env.Go("app", func(p *sim.Proc) {
+		_, err = db.Exec(p, "INSERT INTO t (id, v) VALUES (1, 'x')")
+	})
+	env.RunUntil(time.Minute)
+	env.Stop()
+	env.Shutdown()
+	if err == nil {
+		t.Fatal("write to a headless cluster succeeded without a failover policy")
+	}
+	if db.Stats().Proxy.Failovers != 0 {
+		t.Fatal("failover happened without the policy")
+	}
+}

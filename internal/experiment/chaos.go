@@ -1,0 +1,224 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"cloudrepl/internal/chaos"
+	"cloudrepl/internal/metrics"
+	"cloudrepl/internal/proxy"
+)
+
+// ChaosScenario is one row of the A-CHAOS ablation: a run under one fault
+// plan plus the recovery analysis derived from its ops and lag series.
+type ChaosScenario struct {
+	Name string
+	Res  RunResult
+
+	// PreRate is throughput (ops/s, all users) in the window just before
+	// the fault fires.
+	PreRate float64
+	// DipPct is the throughput reduction relative to PreRate during the
+	// 90 s after the fault (0 = no visible dip).
+	DipPct float64
+	// RecoverySec is how long after the fault throughput first regained
+	// 90% of PreRate over a rolling 60 s window (−1 = never within the
+	// run).
+	RecoverySec float64
+	// ErrorRate is steady-state failed operations over attempted ones.
+	ErrorRate float64
+	// MaxLagEvents is the worst slave events-behind-master sample between
+	// the fault and the end of the run (the staleness spike).
+	MaxLagEvents float64
+}
+
+// ChaosResult is the A-CHAOS ablation output: the Fig. 2 mid-load point
+// (100 users, 2 slaves, 50/50, same zone) rerun under three fault plans.
+type ChaosResult struct {
+	// Baseline has the injector disabled (schedule empty) but the same
+	// retry policy armed — its throughput should match the plain Fig. 2
+	// point, showing the robustness layer is free when nothing fails.
+	Baseline ChaosScenario
+	// SlaveCrash kills slave1 mid-steady-state and restarts it later.
+	SlaveCrash ChaosScenario
+	// MasterCrash kills the master mid-steady-state for good; the proxy's
+	// failover hook must promote a slave and keep writes flowing.
+	MasterCrash ChaosScenario
+
+	// CrashAt and SlaveDownFor locate the faults on the virtual timeline.
+	CrashAt      time.Duration
+	SlaveDownFor time.Duration
+}
+
+// opsAt reads the cumulative completed-ops series at time at (the newest
+// sample not after it).
+func opsAt(ts *metrics.TimeSeries, at time.Duration) float64 {
+	var v float64
+	for _, p := range ts.Points() {
+		if p.T > at {
+			break
+		}
+		v = p.V
+	}
+	return v
+}
+
+// opsRate differentiates the cumulative series over [from, to).
+func opsRate(ts *metrics.TimeSeries, from, to time.Duration) float64 {
+	if to <= from {
+		return 0
+	}
+	return (opsAt(ts, to) - opsAt(ts, from)) / (to - from).Seconds()
+}
+
+// analyzeChaos derives dip / recovery / staleness numbers from a finished
+// run. crashAt ≤ 0 means no fault: only PreRate and ErrorRate are filled.
+func analyzeChaos(name string, res RunResult, crashAt time.Duration) ChaosScenario {
+	sc := ChaosScenario{Name: name, Res: res, RecoverySec: -1}
+
+	steadyFrom := res.Spec.RampUp
+	steadyTo := steadyFrom + res.Spec.Steady
+	end := steadyTo + res.Spec.RampDown
+
+	ops := float64(res.Throughput) * res.Spec.Steady.Seconds()
+	if attempted := ops + float64(res.Errors); attempted > 0 {
+		sc.ErrorRate = float64(res.Errors) / attempted
+	}
+
+	if crashAt <= 0 {
+		sc.PreRate = opsRate(res.OpsSeries, steadyFrom, steadyTo)
+		return sc
+	}
+
+	preFrom := crashAt - 5*time.Minute
+	if preFrom < steadyFrom {
+		preFrom = steadyFrom
+	}
+	sc.PreRate = opsRate(res.OpsSeries, preFrom, crashAt)
+
+	during := opsRate(res.OpsSeries, crashAt, crashAt+90*time.Second)
+	if sc.PreRate > 0 {
+		sc.DipPct = (1 - during/sc.PreRate) * 100
+		if sc.DipPct < 0 {
+			sc.DipPct = 0
+		}
+	}
+
+	// First rolling 60 s window at or after the fault that regains 90% of
+	// the pre-fault rate, stepping at the 15 s sample cadence.
+	const window = 60 * time.Second
+	for t := crashAt; t+window <= end; t += 15 * time.Second {
+		if opsRate(res.OpsSeries, t, t+window) >= 0.9*sc.PreRate {
+			sc.RecoverySec = (t - crashAt).Seconds()
+			break
+		}
+	}
+
+	for _, ls := range res.LagSeries {
+		for _, v := range ls.Between(crashAt, end) {
+			if v > sc.MaxLagEvents {
+				sc.MaxLagEvents = v
+			}
+		}
+	}
+	return sc
+}
+
+// AblationChaos reruns the Fig. 2 mid-load point (100 users, 2 slaves,
+// 50/50, same zone) under fault injection with the chaos-hardened retry
+// policy: once with the injector disabled (control), once crashing and
+// later restarting one slave, and once crashing the master for good so the
+// proxy's failover hook must promote a slave. Faults land a quarter into
+// steady state; the crashed slave returns a quarter later.
+func AblationChaos(opts SweepOpts) (ChaosResult, error) {
+	ramp, steady, down := opts.phases()
+	crashAt := ramp + steady/4
+	downFor := steady / 4
+	retry := proxy.DefaultRetryPolicy()
+
+	mk := func(seed int64, sched *chaos.Schedule) RunSpec {
+		return RunSpec{
+			Seed: seed, Users: 100, Slaves: 2, Scale: 300, ReadRatio: 0.5,
+			Loc: SameZone, RampUp: ramp, Steady: steady, RampDown: down,
+			Chaos: sched, Retry: &retry,
+		}
+	}
+
+	out := ChaosResult{CrashAt: crashAt, SlaveDownFor: downFor}
+	report := func(sc ChaosScenario) {
+		if opts.Progress != nil {
+			opts.Progress(fmt.Sprintf(
+				"chaos %-12s tp=%6.2f dip=%5.1f%% recovery=%6.1fs errs=%.3f%% failovers=%d master=%s",
+				sc.Name, sc.Res.Throughput, sc.DipPct, sc.RecoverySec,
+				sc.ErrorRate*100, sc.Res.ProxyStats.Failovers, sc.Res.FinalMaster))
+		}
+	}
+
+	res, err := Run(mk(opts.Seed, nil))
+	if err != nil {
+		return out, err
+	}
+	out.Baseline = analyzeChaos("none", res, 0)
+	report(out.Baseline)
+
+	res, err = Run(mk(opts.Seed+1, new(chaos.Schedule).CrashFor(crashAt, downFor, "slave1")))
+	if err != nil {
+		return out, err
+	}
+	out.SlaveCrash = analyzeChaos("slave-crash", res, crashAt)
+	report(out.SlaveCrash)
+
+	res, err = Run(mk(opts.Seed+2, new(chaos.Schedule).Crash(crashAt, "master")))
+	if err != nil {
+		return out, err
+	}
+	out.MasterCrash = analyzeChaos("master-crash", res, crashAt)
+	report(out.MasterCrash)
+
+	return out, nil
+}
+
+// RenderChaos formats A-CHAOS.
+func RenderChaos(r ChaosResult) string {
+	var b strings.Builder
+	b.WriteString("A-CHAOS — fault injection at the Fig. 2 mid-load point (100 users, 2 slaves, 50/50, same zone)\n")
+	fmt.Fprintf(&b, "fault fires at %v; crashed slave returns after %v; master crash is permanent\n\n",
+		r.CrashAt, r.SlaveDownFor)
+	fmt.Fprintf(&b, "%-14s %12s %8s %12s %10s %12s\n",
+		"scenario", "tp (ops/s)", "dip", "recovery", "err rate", "max lag (ev)")
+	for _, sc := range []ChaosScenario{r.Baseline, r.SlaveCrash, r.MasterCrash} {
+		rec := "—"
+		if sc.RecoverySec == 0 {
+			rec = "<60 s"
+		} else if sc.RecoverySec > 0 {
+			rec = fmt.Sprintf("%.0f s", sc.RecoverySec)
+		}
+		dip := "—"
+		if sc.Name != "none" {
+			dip = fmt.Sprintf("%.1f%%", sc.DipPct)
+		}
+		fmt.Fprintf(&b, "%-14s %12.2f %8s %12s %9.3f%% %12.0f\n",
+			sc.Name, sc.Res.Throughput, dip, rec, sc.ErrorRate*100, sc.MaxLagEvents)
+	}
+	b.WriteString("\nrobustness counters (retries / timeouts / evictions / readmissions / failovers / degraded commits):\n")
+	for _, sc := range []ChaosScenario{r.Baseline, r.SlaveCrash, r.MasterCrash} {
+		ps := sc.Res.ProxyStats
+		fmt.Fprintf(&b, "%-14s %d / %d / %d / %d / %d / %d   final master: %s\n",
+			sc.Name, ps.Retries, ps.Timeouts, ps.SlaveEvictions, ps.SlaveReadmissions,
+			ps.Failovers, ps.DegradedCommits, sc.Res.FinalMaster)
+	}
+	if len(r.SlaveCrash.Res.ChaosLog) > 0 || len(r.MasterCrash.Res.ChaosLog) > 0 {
+		b.WriteString("\ninjected faults:\n")
+		for _, sc := range []ChaosScenario{r.SlaveCrash, r.MasterCrash} {
+			for _, a := range sc.Res.ChaosLog {
+				fmt.Fprintf(&b, "  %-14s %s\n", sc.Name, a)
+			}
+		}
+	}
+	b.WriteString("\nthe control shows the retry layer is free when nothing fails; a crashed\n")
+	b.WriteString("slave costs a brief dip while reads shift to the survivor, and a crashed\n")
+	b.WriteString("master is absorbed by promotion — the application-managed failover the\n")
+	b.WriteString("paper argues the cloud makes necessary.\n")
+	return b.String()
+}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"time"
 
+	"cloudrepl/internal/chaos"
 	"cloudrepl/internal/cloud"
 	"cloudrepl/internal/cloudstone"
 	"cloudrepl/internal/cluster"
@@ -84,6 +85,12 @@ type RunSpec struct {
 	PriorityApply bool
 	// Cost overrides the calibrated cost model when non-nil.
 	Cost *server.CostModel
+	// Chaos, when non-nil, arms a fault schedule on the run's timeline
+	// (times are absolute virtual time; the run starts at 0).
+	Chaos *chaos.Schedule
+	// Retry, when non-nil, enables the proxy's retry/eviction/failover
+	// policy — chaos runs pair a schedule with proxy.DefaultRetryPolicy().
+	Retry *proxy.RetryPolicy
 }
 
 func (s *RunSpec) applyDefaults() {
@@ -141,6 +148,24 @@ type RunResult struct {
 	// seconds across the whole run — the backlog growth curve behind
 	// Figs. 5/6.
 	LagSeries []*metrics.TimeSeries
+
+	// OpsSeries samples the driver's cumulative completed operations (all
+	// phases) every 15 virtual seconds; chaos analysis differentiates it to
+	// get throughput dip and recovery time around an injected fault.
+	OpsSeries *metrics.TimeSeries
+
+	// ProxyStats and PoolStats snapshot the middleware counters at the end
+	// of the run (retries, timeouts, evictions, failovers, waits, ...).
+	ProxyStats proxy.Stats
+	PoolStats  pool.Stats
+
+	// FinalMaster names the server acting as master when the run ended —
+	// after a master-crash scenario this is the promoted slave.
+	FinalMaster string
+
+	// ChaosLog and ChaosCounters record what the injector actually did.
+	ChaosLog      []chaos.Applied
+	ChaosCounters chaos.Counters
 }
 
 // Run executes one experiment point on its own simulation environment.
@@ -198,12 +223,18 @@ func Run(spec RunSpec) (RunResult, error) {
 	if spec.Balancer != nil {
 		balancer = spec.Balancer()
 	}
-	db := core.Open(clu, core.Options{
+	coreOpts := core.Options{
 		Database:    cloudstone.DatabaseName,
 		ClientPlace: MasterPlacement,
 		Balancer:    balancer,
 		Pool:        pool.Config{MaxActive: spec.Users + 8, MaxIdle: spec.Users + 8},
-	})
+	}
+	if spec.Retry != nil {
+		coreOpts.Retry = *spec.Retry
+	}
+	db := core.Open(clu, coreOpts)
+
+	inj := chaos.Start(env, c, spec.Chaos)
 
 	hb := heartbeat.Start(env, clu.Master(), spec.HeartbeatInterval)
 
@@ -233,6 +264,15 @@ func Run(spec RunSpec) (RunResult, error) {
 	})
 	driver.Start(env)
 
+	// Cumulative completed-ops sampler, same cadence as the lag sampler.
+	opsSeries := metrics.NewTimeSeries("ops")
+	env.Go("ops-sampler", func(p *sim.Proc) {
+		for {
+			opsSeries.Append(p.Now(), float64(driver.CompletedOps()))
+			p.Sleep(15 * time.Second)
+		}
+	})
+
 	steadyFrom, steadyTo := driver.SteadyWindow()
 	// Reset CPU accounting at the start of steady state and capture
 	// utilizations at its end.
@@ -258,7 +298,14 @@ func Run(spec RunSpec) (RunResult, error) {
 	// heartbeats are complete (bounded grace, not unbounded catch-up).
 	env.RunUntil(env.Now() + 2*time.Minute)
 
-	res := RunResult{Spec: spec, MasterUtil: masterUtil, SlaveUtil: slaveUtil, LagSeries: lagSeries}
+	res := RunResult{
+		Spec: spec, MasterUtil: masterUtil, SlaveUtil: slaveUtil,
+		LagSeries: lagSeries, OpsSeries: opsSeries,
+		ProxyStats: db.Proxy().Stats(), PoolStats: db.Pool().Stats(),
+		FinalMaster:   clu.Master().Srv.Name,
+		ChaosLog:      inj.Log(),
+		ChaosCounters: inj.Counters(),
+	}
 	dres := driver.Result()
 	res.Throughput = dres.Throughput
 	res.ReadThroughput = dres.ReadThroughput

@@ -55,12 +55,13 @@ type Pool[T any] struct {
 	factory func() T
 	closer  func(T)
 
-	idle    []T
-	idleAt  []sim.Time // per-idle-entry return time, parallel to idle
-	active  int        // total connections out or idle
-	waiters *sim.Signal
-	closed  bool
-	stats   Stats
+	idle     []T
+	idleAt   []sim.Time // per-idle-entry return time, parallel to idle
+	active   int        // total connections out or idle
+	waiters  *sim.Signal
+	closeSig *sim.Signal // broadcast once on Close (evictor shutdown)
+	closed   bool
+	stats    Stats
 }
 
 // New creates a pool. factory creates a connection; closer (optional)
@@ -75,7 +76,8 @@ func New[T any](env *sim.Env, cfg Config, factory func() T, closer func(T)) *Poo
 	if closer == nil {
 		closer = func(T) {}
 	}
-	return &Pool[T]{env: env, cfg: cfg, factory: factory, closer: closer, waiters: sim.NewSignal(env)}
+	return &Pool[T]{env: env, cfg: cfg, factory: factory, closer: closer,
+		waiters: sim.NewSignal(env), closeSig: sim.NewSignal(env)}
 }
 
 // Stats returns a snapshot of the counters.
@@ -98,6 +100,7 @@ func (pl *Pool[T]) Borrow(p *sim.Proc) (T, error) {
 	if pl.cfg.MaxWait > 0 {
 		deadline = p.Now() + pl.cfg.MaxWait
 	}
+	waited := false
 	for {
 		if pl.closed {
 			return zero, ErrClosed
@@ -115,7 +118,12 @@ func (pl *Pool[T]) Borrow(p *sim.Proc) (T, error) {
 			pl.stats.Borrows++
 			return pl.factory(), nil
 		}
-		pl.stats.Waits++
+		// One blocked borrow is one wait, no matter how many wake-loop
+		// races it loses before winning a connection.
+		if !waited {
+			waited = true
+			pl.stats.Waits++
+		}
 		if deadline >= 0 {
 			remain := deadline - p.Now()
 			if remain <= 0 || !pl.waiters.WaitTimeout(p, remain) {
@@ -166,6 +174,7 @@ func (pl *Pool[T]) Close() {
 	pl.idle = nil
 	pl.idleAt = nil
 	pl.waiters.Broadcast()
+	pl.closeSig.Broadcast() // stop the evictor mid-sleep
 }
 
 // EvictIdle closes idle connections unused for at least cfg.MaxIdleTime.
@@ -198,11 +207,14 @@ func (pl *Pool[T]) EvictIdle() int {
 }
 
 // StartEvictor launches a background process that runs EvictIdle every
-// interval — DBCP's evictor thread. It stops when the pool closes.
+// interval — DBCP's evictor thread. It stops promptly when the pool
+// closes, even mid-sleep, instead of lingering for up to one interval.
 func (pl *Pool[T]) StartEvictor(env *sim.Env, interval time.Duration) {
 	env.Go("pool-evictor", func(p *sim.Proc) {
 		for !pl.closed {
-			p.Sleep(interval)
+			if pl.closeSig.WaitTimeout(p, interval) {
+				return // woken by Close
+			}
 			pl.EvictIdle()
 		}
 	})

@@ -22,6 +22,10 @@ import (
 // ErrNoBackend is returned when no live server can serve the statement.
 var ErrNoBackend = errors.New("proxy: no live backend available")
 
+// ErrStatementTimeout is returned when a statement's network leg exceeds
+// the per-statement timeout (a partitioned or unresponsive backend).
+var ErrStatementTimeout = errors.New("proxy: statement timed out")
+
 // PickContext is what a Balancer sees when routing one read.
 type PickContext struct {
 	Master   *repl.Master
@@ -71,16 +75,22 @@ func (Random) Name() string { return "random" }
 // proxy.
 type LeastConn struct{}
 
-// Pick implements Balancer.
+// Pick implements Balancer. Ties are broken uniformly at random so that an
+// idle cluster (every count equal) spreads reads instead of hot-spotting
+// the first slave.
 func (LeastConn) Pick(ctx *PickContext) *repl.Slave {
-	var best *repl.Slave
+	var ties []*repl.Slave
 	bestN := int(^uint(0) >> 1)
 	for _, sl := range ctx.Slaves {
-		if n := ctx.Inflight(sl); n < bestN {
-			best, bestN = sl, n
+		switch n := ctx.Inflight(sl); {
+		case n < bestN:
+			bestN = n
+			ties = append(ties[:0], sl)
+		case n == bestN:
+			ties = append(ties, sl)
 		}
 	}
-	return best
+	return pickTie(ctx, ties)
 }
 
 // Name implements Balancer.
@@ -89,16 +99,34 @@ func (LeastConn) Name() string { return "least-conn" }
 // LeastLag picks the slave fewest binlog events behind the master.
 type LeastLag struct{}
 
-// Pick implements Balancer.
+// Pick implements Balancer. Ties (e.g. every slave fully caught up under
+// light load) are broken uniformly at random instead of always returning
+// the first slave.
 func (LeastLag) Pick(ctx *PickContext) *repl.Slave {
-	var best *repl.Slave
+	var ties []*repl.Slave
 	bestLag := uint64(1<<63 - 1)
 	for _, sl := range ctx.Slaves {
-		if lag := sl.EventsBehindMaster(); lag < bestLag {
-			best, bestLag = sl, lag
+		switch lag := sl.EventsBehindMaster(); {
+		case lag < bestLag:
+			bestLag = lag
+			ties = append(ties[:0], sl)
+		case lag == bestLag:
+			ties = append(ties, sl)
 		}
 	}
-	return best
+	return pickTie(ctx, ties)
+}
+
+// pickTie resolves a best-score tie via the routing RNG.
+func pickTie(ctx *PickContext, ties []*repl.Slave) *repl.Slave {
+	switch len(ties) {
+	case 0:
+		return nil
+	case 1:
+		return ties[0]
+	default:
+		return ties[ctx.Rng.Intn(len(ties))]
+	}
 }
 
 // Name implements Balancer.
@@ -133,12 +161,107 @@ func (b *StalenessBounded) Pick(ctx *PickContext) *repl.Slave {
 // Name implements Balancer.
 func (b *StalenessBounded) Name() string { return "staleness-bounded" }
 
-// Stats counts proxy routing decisions.
+// Stats counts proxy routing decisions and robustness outcomes.
 type Stats struct {
 	Reads           uint64
 	Writes          uint64
 	MasterFallbacks uint64 // reads served by the master
-	Errors          uint64
+	Errors          uint64 // statements that failed after all retries
+
+	// Robustness outcome counters.
+	Retries           uint64 // statement re-attempts after a retryable error
+	Timeouts          uint64 // attempts abandoned at the statement timeout
+	SlaveEvictions    uint64 // slaves benched after repeated errors
+	SlaveReadmissions uint64 // benched slaves returned to rotation
+	Failovers         uint64 // master promotions triggered by this proxy
+	DegradedCommits   uint64 // semi-sync commits that timed out to async
+}
+
+// RetryPolicy configures client-side robustness: bounded retries with
+// exponential backoff + jitter, a per-statement timeout, automatic slave
+// eviction/readmission on repeated errors, and master-failure detection.
+// The zero value disables everything (single attempt, legacy behaviour).
+type RetryPolicy struct {
+	// MaxAttempts caps total attempts per statement (≤1 = no retry).
+	MaxAttempts int
+	// BaseBackoff is the delay before the first retry; each further retry
+	// doubles it up to MaxBackoff.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the exponential backoff (0 = no cap).
+	MaxBackoff time.Duration
+	// JitterFrac spreads each backoff uniformly over ±JitterFrac of
+	// itself, decorrelating retry storms.
+	JitterFrac float64
+	// StatementTimeout bounds each attempt's network legs; an attempt
+	// against an unreachable backend fails with ErrStatementTimeout after
+	// this long (0 = cloud.DefaultTransitTimeout when partitioned).
+	StatementTimeout time.Duration
+	// EvictAfter benches a slave after this many consecutive errors
+	// (0 = never evict).
+	EvictAfter int
+	// ReadmitAfter is how long an evicted slave sits out before it is
+	// probed again (0 = 30 s when EvictAfter is set).
+	ReadmitAfter time.Duration
+	// FailoverOnMasterDown lets the proxy invoke its OnMasterFailure hook
+	// when a statement finds the master dead, promoting a slave instead of
+	// returning ErrNoBackend forever.
+	FailoverOnMasterDown bool
+}
+
+// DefaultRetryPolicy returns the robustness defaults used by the chaos
+// experiments: 4 attempts, 100 ms→2 s backoff with 20% jitter, 5 s
+// statement timeout, eviction after 3 consecutive errors with 30 s
+// readmission, and automatic failover.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{
+		MaxAttempts:          4,
+		BaseBackoff:          100 * time.Millisecond,
+		MaxBackoff:           2 * time.Second,
+		JitterFrac:           0.2,
+		StatementTimeout:     5 * time.Second,
+		EvictAfter:           3,
+		ReadmitAfter:         30 * time.Second,
+		FailoverOnMasterDown: true,
+	}
+}
+
+func (rp RetryPolicy) attempts() int {
+	if rp.MaxAttempts < 1 {
+		return 1
+	}
+	return rp.MaxAttempts
+}
+
+func (rp RetryPolicy) readmitAfter() time.Duration {
+	if rp.ReadmitAfter <= 0 {
+		return 30 * time.Second
+	}
+	return rp.ReadmitAfter
+}
+
+// backoff returns the sleep before retry attempt n (n ≥ 1), with
+// exponential growth and jitter.
+func (rp RetryPolicy) backoff(n int, rng *rand.Rand) time.Duration {
+	base := rp.BaseBackoff
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	d := base << uint(n-1)
+	if rp.MaxBackoff > 0 && d > rp.MaxBackoff {
+		d = rp.MaxBackoff
+	}
+	if rp.JitterFrac > 0 {
+		f := 1 + rp.JitterFrac*(2*rng.Float64()-1)
+		d = time.Duration(float64(d) * f)
+	}
+	return d
+}
+
+// slaveHealth is the proxy's per-slave error bookkeeping.
+type slaveHealth struct {
+	consecErrs   int
+	evicted      bool
+	evictedUntil sim.Time
 }
 
 // Proxy routes statements from a client placement to a replicated cluster.
@@ -155,7 +278,18 @@ type Proxy struct {
 	// sees their own updates without bounding global staleness.
 	ReadYourWrites bool
 
+	// Retry configures client-side robustness; the zero value preserves
+	// the legacy single-attempt behaviour.
+	Retry RetryPolicy
+
+	// OnMasterFailure, when set together with Retry.FailoverOnMasterDown,
+	// is invoked (at most once per dead master) when a statement finds the
+	// master down; it should promote a replica and return the new master.
+	// core.Open wires it to cluster.Failover.
+	OnMasterFailure func(p *sim.Proc) (*repl.Master, error)
+
 	inflight map[*repl.Slave]int
+	health   map[*repl.Slave]*slaveHealth
 	stats    Stats
 }
 
@@ -166,7 +300,9 @@ func New(env *sim.Env, net *cloud.Network, master *repl.Master, clientPlace clou
 	}
 	return &Proxy{
 		env: env, net: net, master: master, balancer: balancer,
-		client: clientPlace, inflight: make(map[*repl.Slave]int),
+		client:   clientPlace,
+		inflight: make(map[*repl.Slave]int),
+		health:   make(map[*repl.Slave]*slaveHealth),
 	}
 }
 
@@ -182,13 +318,51 @@ func (px *Proxy) Master() *repl.Master { return px.master }
 // SetMaster re-points the proxy after a failover.
 func (px *Proxy) SetMaster(m *repl.Master) { px.master = m }
 
-// IsRead classifies a statement the way Connector/J does: by its verb.
+// IsRead classifies a statement the way Connector/J does: by its leading
+// verb, after stripping comments. SELECT, SHOW, DESCRIBE/DESC and EXPLAIN
+// are read-only and safe to route to a replica; everything else takes the
+// write path to the master.
 func IsRead(sql string) bool {
-	s := strings.TrimSpace(sql)
-	if len(s) < 6 {
-		return false
+	verb := leadingVerb(sql)
+	switch verb {
+	case "SELECT", "SHOW", "DESCRIBE", "DESC", "EXPLAIN":
+		return true
 	}
-	return strings.EqualFold(s[:6], "SELECT")
+	return false
+}
+
+// leadingVerb returns the first keyword of sql, upper-cased, after
+// skipping leading whitespace and SQL comments (/* ... */, -- line, # line).
+func leadingVerb(sql string) string {
+	s := sql
+	for {
+		s = strings.TrimLeft(s, " \t\r\n")
+		switch {
+		case strings.HasPrefix(s, "/*"):
+			end := strings.Index(s[2:], "*/")
+			if end < 0 {
+				return "" // unterminated comment: not classifiable as a read
+			}
+			s = s[2+end+2:]
+		case strings.HasPrefix(s, "--"), strings.HasPrefix(s, "#"):
+			nl := strings.IndexByte(s, '\n')
+			if nl < 0 {
+				return ""
+			}
+			s = s[nl+1:]
+		default:
+			end := 0
+			for end < len(s) {
+				c := s[end]
+				if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') {
+					end++
+					continue
+				}
+				break
+			}
+			return strings.ToUpper(s[:end])
+		}
+	}
 }
 
 // Conn is one pooled client connection: lazily-opened sessions against each
@@ -223,13 +397,52 @@ type ExecResult struct {
 
 // Exec routes and executes one statement, blocking the calling process for
 // the network round trip, queueing and service time. Write statements also
-// honor the cluster's synchronization model before returning.
+// honor the cluster's synchronization model before returning. Retryable
+// failures (dead or unreachable backends) are retried with exponential
+// backoff per the proxy's RetryPolicy; a dead master triggers the
+// OnMasterFailure hook (slave promotion) when the policy allows it.
 func (c *Conn) Exec(p *sim.Proc, sql string, args ...sqlengine.Value) (*ExecResult, error) {
 	start := p.Now()
 	px := c.px
-	if IsRead(sql) {
+	isRead := IsRead(sql)
+	if isRead {
 		px.stats.Reads++
-		candidates := liveSlaves(px.master)
+	} else {
+		px.stats.Writes++
+	}
+	attempts := px.Retry.attempts()
+	var lastErr error
+	for attempt := 1; attempt <= attempts; attempt++ {
+		if attempt > 1 {
+			px.stats.Retries++
+			p.Sleep(px.Retry.backoff(attempt-1, p.Rand()))
+		}
+		res, err := c.execOnce(p, isRead, sql, args, start)
+		if err == nil {
+			return res, nil
+		}
+		lastErr = err
+		if !retryable(err) {
+			break
+		}
+	}
+	px.stats.Errors++
+	return nil, lastErr
+}
+
+// retryable reports whether an error may clear on a different backend or a
+// later attempt (infrastructure faults, not SQL errors).
+func retryable(err error) bool {
+	return errors.Is(err, ErrNoBackend) ||
+		errors.Is(err, ErrStatementTimeout) ||
+		errors.Is(err, server.ErrServerDown)
+}
+
+// execOnce is a single routed attempt.
+func (c *Conn) execOnce(p *sim.Proc, isRead bool, sql string, args []sqlengine.Value, start sim.Time) (*ExecResult, error) {
+	px := c.px
+	if isRead {
+		candidates := px.eligibleSlaves(p)
 		if px.ReadYourWrites && c.lastWriteSeq > 0 {
 			fresh := candidates[:0:0]
 			for _, sl := range candidates {
@@ -247,8 +460,7 @@ func (c *Conn) Exec(p *sim.Proc, sql string, args ...sqlengine.Value) (*ExecResu
 		})
 		if sl == nil {
 			// Master fallback (no slaves, or none fresh enough).
-			if !px.master.Srv.Up() {
-				px.stats.Errors++
+			if !px.masterUsable(p) {
 				return nil, ErrNoBackend
 			}
 			px.stats.MasterFallbacks++
@@ -262,28 +474,99 @@ func (c *Conn) Exec(p *sim.Proc, sql string, args ...sqlengine.Value) (*ExecResu
 		res, err := c.execOn(p, sl, sql, args)
 		px.inflight[sl]--
 		if err != nil {
-			px.stats.Errors++
+			px.noteSlaveError(p, sl)
 			return nil, err
 		}
+		px.noteSlaveOK(sl)
 		return &ExecResult{Result: res, Latency: p.Now() - start}, nil
 	}
 
-	px.stats.Writes++
-	if !px.master.Srv.Up() {
-		px.stats.Errors++
+	if !px.masterUsable(p) {
 		return nil, ErrNoBackend
 	}
 	res, err := c.execOn(p, nil, sql, args)
 	if err != nil {
-		px.stats.Errors++
 		return nil, err
 	}
 	degraded := false
 	if res.Stats.Class == sqlengine.ClassWrite {
 		c.lastWriteSeq = px.master.Srv.Log.LastSeq()
 		degraded = !px.master.WaitCommitted(p, c.lastWriteSeq)
+		if degraded {
+			px.stats.DegradedCommits++
+		}
 	}
 	return &ExecResult{Result: res, OnMaster: true, Degraded: degraded, Latency: p.Now() - start}, nil
+}
+
+// masterUsable reports whether the master can serve a statement, invoking
+// the failover hook first when the master is dead and the policy allows
+// promotion. The hook runs without yielding to the scheduler, so at most
+// one promotion happens per dead master even with many concurrent clients.
+func (px *Proxy) masterUsable(p *sim.Proc) bool {
+	if px.master.Srv.Up() {
+		return true
+	}
+	if !px.Retry.FailoverOnMasterDown || px.OnMasterFailure == nil {
+		return false
+	}
+	m, err := px.OnMasterFailure(p)
+	if err != nil || m == nil {
+		return false
+	}
+	px.master = m
+	px.stats.Failovers++
+	return m.Srv.Up()
+}
+
+// eligibleSlaves filters live slaves through the eviction bench:
+// benched slaves are skipped until their ReadmitAfter window passes, then
+// counted as readmitted and probed again.
+func (px *Proxy) eligibleSlaves(p *sim.Proc) []*repl.Slave {
+	slaves := liveSlaves(px.master)
+	if px.Retry.EvictAfter <= 0 {
+		return slaves
+	}
+	out := slaves[:0:0]
+	for _, sl := range slaves {
+		h := px.health[sl]
+		if h != nil && h.evicted {
+			if p.Now() < h.evictedUntil {
+				continue
+			}
+			h.evicted = false
+			h.consecErrs = 0
+			px.stats.SlaveReadmissions++
+		}
+		out = append(out, sl)
+	}
+	return out
+}
+
+// noteSlaveError records a failed read on sl and benches it after
+// EvictAfter consecutive errors.
+func (px *Proxy) noteSlaveError(p *sim.Proc, sl *repl.Slave) {
+	if px.Retry.EvictAfter <= 0 {
+		return
+	}
+	h := px.health[sl]
+	if h == nil {
+		h = &slaveHealth{}
+		px.health[sl] = h
+	}
+	h.consecErrs++
+	if !h.evicted && h.consecErrs >= px.Retry.EvictAfter {
+		h.evicted = true
+		h.evictedUntil = p.Now() + px.Retry.readmitAfter()
+		px.stats.SlaveEvictions++
+	}
+}
+
+// noteSlaveOK clears sl's consecutive-error streak.
+func (px *Proxy) noteSlaveOK(sl *repl.Slave) {
+	if h := px.health[sl]; h != nil {
+		h.consecErrs = 0
+	}
 }
 
 // Query is Exec returning the result set.
@@ -299,6 +582,8 @@ func (c *Conn) Query(p *sim.Proc, sql string, args ...sqlengine.Value) (*sqlengi
 }
 
 // execOn runs sql on the chosen backend (nil = master) with network legs.
+// Each leg honors the per-statement timeout: a partitioned path fails the
+// attempt with ErrStatementTimeout instead of hanging forever.
 func (c *Conn) execOn(p *sim.Proc, sl *repl.Slave, sql string, args []sqlengine.Value) (*sqlengine.Result, error) {
 	px := c.px
 	srv := px.master.Srv
@@ -310,7 +595,10 @@ func (c *Conn) execOn(p *sim.Proc, sl *repl.Slave, sql string, args []sqlengine.
 		sess = srv.Session(c.db)
 		c.sess[srv] = sess
 	}
-	px.net.Transit(p, px.client, srv.Inst.Place)
+	if !px.net.TransitTimeout(p, px.client, srv.Inst.Place, px.Retry.StatementTimeout) {
+		px.stats.Timeouts++
+		return nil, ErrStatementTimeout
+	}
 	// The backend can die while the request is on the wire.
 	if !srv.Up() {
 		return nil, ErrNoBackend
@@ -319,7 +607,10 @@ func (c *Conn) execOn(p *sim.Proc, sl *repl.Slave, sql string, args []sqlengine.
 	if err != nil {
 		return nil, err
 	}
-	px.net.Transit(p, srv.Inst.Place, px.client)
+	if !px.net.TransitTimeout(p, srv.Inst.Place, px.client, px.Retry.StatementTimeout) {
+		px.stats.Timeouts++
+		return nil, ErrStatementTimeout
+	}
 	return res, nil
 }
 

@@ -55,6 +55,23 @@ func TestIsRead(t *testing.T) {
 		{"DELETE FROM t", false},
 		{"BEGIN", false},
 		{"", false},
+		// Leading comments must not hide the verb (Connector/J strips them).
+		{"/* hint */ SELECT 1", true},
+		{"/* c1 */ /* c2 */\n SELECT 1", true},
+		{"-- comment\nSELECT 1", true},
+		{"# comment\nselect 1", true},
+		{"/* comment */ INSERT INTO t VALUES (1)", false},
+		{"-- only a comment", false},
+		{"/* unterminated SELECT", false},
+		// Metadata statements are read-only and safe on a replica.
+		{"SHOW TABLES", true},
+		{"show databases", true},
+		{"DESCRIBE t", true},
+		{"DESC t", true},
+		{"EXPLAIN SELECT * FROM t", true},
+		// Prefix matching must stop at the word boundary.
+		{"SELECTION IS NOT A VERB", false},
+		{"SHOWING OFF", false},
 	}
 	for _, tc := range cases {
 		if got := IsRead(tc.sql); got != tc.want {

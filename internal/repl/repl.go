@@ -166,8 +166,10 @@ func (m *Master) Attach(sl *Slave, startPos uint64) {
 
 	pipe := cloud.NewPipe(m.Net, m.Srv.Inst.Place, sl.Srv.Inst.Place, sl.io)
 	ackPipe := func(a ack) {
-		// Acks ride the reverse path; ordering between acks is irrelevant.
-		m.env.Schedule(m.Net.OneWay(sl.Srv.Inst.Place, m.Srv.Inst.Place), func() {
+		// Acks ride the reverse path as datagrams; ordering between acks is
+		// irrelevant and a partitioned path simply loses them (the master's
+		// semi-sync timeout degrades the commit to async).
+		cloud.Unicast(m.Net, sl.Srv.Inst.Place, m.Srv.Inst.Place, func() {
 			m.deliverAck(a)
 		})
 	}
@@ -192,6 +194,13 @@ func (m *Master) Attach(sl *Slave, startPos uint64) {
 			if !ok {
 				return
 			}
+			// A crashed replica parks its I/O thread until the instance
+			// restarts (relay-log writes resume with recovery), instead of
+			// charging CPU on a dead VM.
+			sl.Srv.Inst.AwaitUp(p)
+			if sl.stopped {
+				return
+			}
 			sl.Srv.RelayWork(p)
 			sl.receivedSeq = e.Seq
 			sl.relay.Put(e)
@@ -206,6 +215,12 @@ func (m *Master) Attach(sl *Slave, startPos uint64) {
 		for {
 			e, ok := sl.relay.Get(p)
 			if !ok {
+				return
+			}
+			// Park across a crash; re-apply resumes from the relay log when
+			// the instance comes back (the database layer retains state).
+			sl.Srv.Inst.AwaitUp(p)
+			if sl.stopped {
 				return
 			}
 			if err := sl.Srv.Apply(p, sess, e); err != nil {

@@ -83,6 +83,7 @@ type Env struct {
 	cur     *Proc
 	yield   chan yieldMsg
 	doneCh  chan struct{}
+	killTok chan struct{}
 	alive   int // processes started and not yet finished
 	stopped bool
 	closed  bool
@@ -97,9 +98,10 @@ type Env struct {
 // identical event orderings.
 func NewEnv(seed int64) *Env {
 	return &Env{
-		rng:    rand.New(rand.NewSource(seed)),
-		yield:  make(chan yieldMsg),
-		doneCh: make(chan struct{}),
+		rng:     rand.New(rand.NewSource(seed)),
+		yield:   make(chan yieldMsg),
+		doneCh:  make(chan struct{}),
+		killTok: make(chan struct{}, 1),
 	}
 }
 
@@ -197,7 +199,7 @@ func (e *Env) Go(name string, fn func(p *Proc)) *Proc {
 		select {
 		case <-p.resume:
 		case <-e.doneCh:
-			panic(shutdownSentinel{})
+			e.awaitKill()
 		}
 		fn(p)
 	}()
@@ -217,8 +219,19 @@ func (p *Proc) wait() {
 	select {
 	case <-p.resume:
 	case <-e.doneCh:
-		panic(shutdownSentinel{})
+		e.awaitKill()
 	}
+}
+
+// awaitKill serializes process teardown during Shutdown. Every parked
+// process observes the closed doneCh at once, but each must take the kill
+// token before unwinding so that deferred cleanup (which may touch state
+// shared between processes) keeps the kernel's one-process-at-a-time
+// guarantee; Shutdown hands out one token per process and waits for its
+// unwind to finish before issuing the next.
+func (e *Env) awaitKill() {
+	<-e.killTok
+	panic(shutdownSentinel{})
 }
 
 // Sleep suspends the process for virtual duration d (non-positive durations
@@ -368,19 +381,26 @@ func (e *Env) Shutdown() {
 	e.closed = true
 	close(e.doneCh)
 	// Every alive process is parked: either in wait()'s select or in the
-	// wrapper's initial select, both of which observe doneCh and unwind via
-	// the shutdown sentinel. No process can be running because Shutdown is
-	// called from the scheduler goroutine between events.
+	// wrapper's initial select, both of which observe doneCh and park on the
+	// kill token. No process can be running because Shutdown is called from
+	// the scheduler goroutine between events. Issue one token at a time and
+	// wait for that process to finish unwinding before releasing the next,
+	// so deferred cleanup never runs concurrently across processes.
 	remaining := e.alive
 	for remaining > 0 {
-		select {
-		case msg := <-e.yield:
-			if msg.kind == yieldDone {
-				remaining--
-				e.alive--
+		e.killTok <- struct{}{}
+		waitDone := true
+		for waitDone {
+			select {
+			case msg := <-e.yield:
+				if msg.kind == yieldDone {
+					remaining--
+					e.alive--
+					waitDone = false
+				}
+			case <-time.After(5 * time.Second):
+				panic(fmt.Sprintf("sim: Shutdown timed out with %d processes alive", remaining))
 			}
-		case <-time.After(5 * time.Second):
-			panic(fmt.Sprintf("sim: Shutdown timed out with %d processes alive", remaining))
 		}
 	}
 }
