@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench figures examples vet fmt clean check
+.PHONY: all build test race bench bench-smoke figures examples vet fmt clean check
 
 all: build vet test
 
@@ -29,6 +29,12 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
 
+# Quick end-to-end check that the bench CLI still runs and emits
+# machine-readable results: the A-ELASTIC ablation on the short protocol,
+# with BENCH_*.json written into results/.
+bench-smoke:
+	$(GO) run ./cmd/cloudrepl-bench -ablation elastic -short -q -json results
+
 # Regenerate every figure, table and ablation with the quick protocol.
 figures:
 	$(GO) run ./cmd/cloudrepl-bench -all -short -csv results
@@ -44,6 +50,7 @@ examples:
 	$(GO) run ./examples/failover
 	$(GO) run ./examples/instancelottery
 	$(GO) run ./examples/chaos
+	$(GO) run ./examples/elasticity
 
 clean:
 	rm -rf results test_output.txt bench_output.txt

@@ -6,7 +6,9 @@
 //	cloudrepl-bench -fig 4            # clock synchronization (and T-NTP)
 //	cloudrepl-bench -rtt              # half-RTT table (T-RTT)
 //	cloudrepl-bench -ablation sync,lb,var
-//	cloudrepl-bench -all -csv out/    # everything, with CSVs for plotting
+//	cloudrepl-bench -ablation elastic    # SLO-driven autoscaling (A-ELASTIC)
+//	cloudrepl-bench -all -csv out/       # everything, with CSVs for plotting
+//	cloudrepl-bench -all -json out/      # machine-readable BENCH_*.json files
 //
 // Figures 2/5 share one sweep (each run yields throughput and delay), as
 // do figures 3/6. Full-protocol sweeps use the paper's 10/20/5-minute runs
@@ -27,12 +29,13 @@ import (
 func main() {
 	figs := flag.String("fig", "", "comma-separated figures to regenerate (2,3,4,5,6)")
 	rtt := flag.Bool("rtt", false, "measure the half-RTT table (T-RTT)")
-	ablations := flag.String("ablation", "", "comma-separated ablations (sync,lb,var,prio,arch,chaos)")
+	ablations := flag.String("ablation", "", "comma-separated ablations (sync,lb,var,prio,arch,chaos,elastic)")
 	all := flag.Bool("all", false, "regenerate every figure, table and ablation")
 	short := flag.Bool("short", false, "use the 2/5/1-minute quick protocol instead of 10/20/5")
 	seed := flag.Int64("seed", 1, "base random seed")
 	par := flag.Int("par", 0, "parallel runs (0 = GOMAXPROCS)")
 	csvDir := flag.String("csv", "", "directory to write per-figure CSV files into")
+	jsonDir := flag.String("json", "", "directory to write machine-readable BENCH_*.json files into")
 	quiet := flag.Bool("q", false, "suppress per-run progress lines")
 	flag.Parse()
 
@@ -51,7 +54,7 @@ func main() {
 		want["rtt"] = true
 	}
 	if *all {
-		for _, k := range []string{"fig2", "fig3", "fig4", "fig5", "fig6", "rtt", "ab-sync", "ab-lb", "ab-var", "ab-prio", "ab-arch", "ab-chaos"} {
+		for _, k := range []string{"fig2", "fig3", "fig4", "fig5", "fig6", "rtt", "ab-sync", "ab-lb", "ab-var", "ab-prio", "ab-arch", "ab-chaos", "ab-elastic"} {
 			want[k] = true
 		}
 	}
@@ -79,6 +82,16 @@ func main() {
 		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
 	}
 
+	writeJSON := func(name string, v any) {
+		if *jsonDir == "" {
+			return
+		}
+		if err := experiment.WriteJSON(*jsonDir, name, v); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", filepath.Join(*jsonDir, "BENCH_"+name+".json"))
+	}
+
 	start := time.Now()
 
 	if want["fig2"] || want["fig5"] {
@@ -95,6 +108,7 @@ func main() {
 			fmt.Println(sw.RenderDelay("Fig. 5 — average relative replication delay, 50/50"))
 		}
 		writeCSV("fig2_fig5.csv", sw.CSV())
+		writeJSON("fig2_fig5", experiment.SweepJSON(sw))
 	}
 
 	if want["fig3"] || want["fig6"] {
@@ -111,6 +125,7 @@ func main() {
 			fmt.Println(sw.RenderDelay("Fig. 6 — average relative replication delay, 80/20"))
 		}
 		writeCSV("fig3_fig6.csv", sw.CSV())
+		writeJSON("fig3_fig6", experiment.SweepJSON(sw))
 	}
 
 	if want["fig4"] {
@@ -123,11 +138,14 @@ func main() {
 			fmt.Fprintf(&csv, "%d,%.3f,%.3f\n", i+1, once.SamplesM[i], every.SamplesM[i])
 		}
 		writeCSV("fig4.csv", csv.String())
+		writeJSON("fig4", experiment.Fig4JSON(once, every))
 	}
 
 	if want["rtt"] {
 		banner("half-RTT measurements (T-RTT)")
-		fmt.Println(experiment.RenderRTT(experiment.TableRTT(*seed)))
+		rows := experiment.TableRTT(*seed)
+		fmt.Println(experiment.RenderRTT(rows))
+		writeJSON("rtt", experiment.RTTJSON(rows))
 	}
 
 	if want["ab-sync"] {
@@ -137,6 +155,7 @@ func main() {
 			fatal(err)
 		}
 		fmt.Println(experiment.RenderSyncModes(rows))
+		writeJSON("sync", experiment.SyncModesJSON(rows))
 	}
 
 	if want["ab-lb"] {
@@ -146,6 +165,7 @@ func main() {
 			fatal(err)
 		}
 		fmt.Println(experiment.RenderBalancers(rows))
+		writeJSON("lb", experiment.BalancersJSON(rows))
 	}
 
 	if want["ab-prio"] {
@@ -155,6 +175,7 @@ func main() {
 			fatal(err)
 		}
 		fmt.Println(experiment.RenderApplierPriority(r))
+		writeJSON("prio", experiment.PriorityJSON(r))
 	}
 
 	if want["ab-arch"] {
@@ -164,6 +185,7 @@ func main() {
 			fatal(err)
 		}
 		fmt.Println(experiment.RenderArchitectures(rows))
+		writeJSON("arch", experiment.ArchitecturesJSON(rows))
 	}
 
 	if want["ab-chaos"] {
@@ -173,6 +195,7 @@ func main() {
 			fatal(err)
 		}
 		fmt.Println(experiment.RenderChaos(r))
+		writeJSON("chaos", experiment.ChaosJSON(r))
 	}
 
 	if want["ab-var"] {
@@ -182,6 +205,17 @@ func main() {
 			fatal(err)
 		}
 		fmt.Println(experiment.RenderVariation(v))
+		writeJSON("var", experiment.VariationJSON(v))
+	}
+
+	if want["ab-elastic"] {
+		banner("ablation: SLO-driven autoscaling (A-ELASTIC)")
+		r, err := experiment.AblationElastic(opts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(experiment.RenderElastic(r))
+		writeJSON("elastic", experiment.ElasticJSON(r))
 	}
 
 	fmt.Fprintf(os.Stderr, "total wall time: %v\n", time.Since(start).Round(time.Second))

@@ -72,6 +72,11 @@ type Log struct {
 	entries  []Entry
 	appended *sim.Signal
 	bytes    int64
+	// committedAt records each entry's commit point on the virtual
+	// timeline, parallel to entries. It is measurement-plane state (never
+	// serialized): replication-staleness probes use it to age unapplied
+	// events without the clock-offset pollution of TimestampMicros.
+	committedAt []sim.Time
 }
 
 // New creates an empty log bound to env.
@@ -85,9 +90,21 @@ func (l *Log) Append(database, sql string, tsMicros int64) uint64 {
 	seq := uint64(len(l.entries)) + 1
 	e := Entry{Seq: seq, Database: database, SQL: sql, TimestampMicros: tsMicros}
 	l.entries = append(l.entries, e)
+	l.committedAt = append(l.committedAt, l.env.Now())
 	l.bytes += int64(e.WireSize())
 	l.appended.Broadcast()
 	return seq
+}
+
+// CommittedAt returns the virtual time the entry with the given sequence was
+// appended (0 for out-of-range sequences). Unlike Entry.TimestampMicros this
+// is free of per-instance clock offset, making it the reference point for
+// replication-staleness measurements.
+func (l *Log) CommittedAt(seq uint64) sim.Time {
+	if seq == 0 || seq > uint64(len(l.committedAt)) {
+		return 0
+	}
+	return l.committedAt[seq-1]
 }
 
 // LastSeq returns the sequence of the newest entry (0 when empty).

@@ -152,6 +152,11 @@ type Instance struct {
 	cloud *Cloud
 	up    bool
 	upSig *sim.Signal // broadcast on Restart
+
+	// Billing clock: the provider charges for wall time the instance is
+	// up, the cost side of every elasticity decision.
+	upSince sim.Time
+	upAccum time.Duration
 }
 
 // Launch starts an instance of type t at placement pl. CPU speed, clock
@@ -169,6 +174,7 @@ func (c *Cloud) Launch(name string, t InstanceType, pl Placement) *Instance {
 		cloud:       c,
 		up:          true,
 		upSig:       sim.NewSignal(c.env),
+		upSince:     c.env.Now(),
 	}
 	if len(c.cfg.CPUModels) > 0 {
 		inst.CPUModel = c.cfg.CPUModels[rng.Intn(len(c.cfg.CPUModels))]
@@ -190,15 +196,34 @@ func (i *Instance) Up() bool { return i.up }
 // Terminate stops the instance. Work on a terminated instance panics, so
 // components must consult Up before charging CPU; in-flight messages to it
 // are dropped by their owners' queues.
-func (i *Instance) Terminate() { i.up = false }
+func (i *Instance) Terminate() {
+	if i.up {
+		i.upAccum += i.cloud.env.Now() - i.upSince
+	}
+	i.up = false
+}
 
 // Restart brings a terminated instance back up (state is retained; the
 // database layer decides what survives) and wakes AwaitUp waiters.
 func (i *Instance) Restart() {
+	if !i.up {
+		i.upSince = i.cloud.env.Now()
+	}
 	i.up = true
 	if i.upSig != nil {
 		i.upSig.Broadcast()
 	}
+}
+
+// UpTime returns the total virtual time this instance has been running —
+// the provider's billing clock. Elasticity experiments report fleet cost as
+// the sum of UpTime over every launched instance (VM-minutes).
+func (i *Instance) UpTime() time.Duration {
+	d := i.upAccum
+	if i.up {
+		d += i.cloud.env.Now() - i.upSince
+	}
+	return d
 }
 
 // AwaitUp blocks the calling process until the instance is running —

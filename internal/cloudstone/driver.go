@@ -29,12 +29,76 @@ type Config struct {
 	RampUp   time.Duration
 	Steady   time.Duration
 	RampDown time.Duration
+	// Stages, when non-empty, replaces the three-phase structure with a
+	// stepped load ramp: stage s runs Stage.Users concurrent users for
+	// Stage.Dur, then the next stage begins. Users is ignored (the maximum
+	// stage population is used) and the measurement window spans the whole
+	// ramp — the shape elasticity experiments need, where the interesting
+	// behaviour is the response to load change, not one steady plateau.
+	Stages []Stage
+}
+
+// Stage is one step of a load ramp.
+type Stage struct {
+	Users int
+	Dur   time.Duration
+}
+
+// stageTotal is the summed duration of all stages.
+func (c *Config) stageTotal() time.Duration {
+	var t time.Duration
+	for _, s := range c.Stages {
+		t += s.Dur
+	}
+	return t
+}
+
+// maxStageUsers is the largest stage population.
+func (c *Config) maxStageUsers() int {
+	n := 0
+	for _, s := range c.Stages {
+		if s.Users > n {
+			n = s.Users
+		}
+	}
+	return n
+}
+
+// stageActive reports whether user i is active at offset t into the ramp;
+// when inactive it also returns the offset at which i next becomes active
+// (-1 = never again).
+func (c *Config) stageActive(i int, t time.Duration) (bool, time.Duration) {
+	var off time.Duration
+	for j, s := range c.Stages {
+		end := off + s.Dur
+		if t < end {
+			if i < s.Users {
+				return true, 0
+			}
+			next := end
+			for _, s2 := range c.Stages[j+1:] {
+				if i < s2.Users {
+					return false, next
+				}
+				next += s2.Dur
+			}
+			return false, -1
+		}
+		off = end
+	}
+	return false, -1
 }
 
 // DefaultPhases applies the paper's 35-minute run structure.
 func (c *Config) applyDefaults() {
 	if c.ThinkTime == 0 {
 		c.ThinkTime = 7 * time.Second
+	}
+	if len(c.Stages) > 0 {
+		// A staged ramp measures the whole run: the population ceiling is
+		// the largest stage and the "steady" divisor is the ramp length.
+		c.Users = c.maxStageUsers()
+		c.RampUp, c.Steady, c.RampDown = 0, c.stageTotal(), 0
 	}
 	if c.RampUp == 0 {
 		c.RampUp = 10 * time.Minute
@@ -128,6 +192,10 @@ func (d *Driver) Start(env *sim.Env) (done func() bool) {
 		i := i
 		env.Go(fmt.Sprintf("user%d", i), func(p *sim.Proc) {
 			defer func() { remaining-- }()
+			if len(d.Cfg.Stages) > 0 {
+				d.runStaged(p, i, start, end)
+				return
+			}
 			// Stagger arrival uniformly across ramp-up.
 			if d.Cfg.Users > 1 {
 				p.SleepUntil(start + time.Duration(int64(d.Cfg.RampUp)*int64(i)/int64(d.Cfg.Users)))
@@ -139,6 +207,33 @@ func (d *Driver) Start(env *sim.Env) (done func() bool) {
 		})
 	}
 	return func() bool { return remaining == 0 }
+}
+
+// runStaged is the user loop under a stepped load ramp: the user operates
+// only while the current stage's population includes it, parks until the
+// next stage that does, and exits when no later stage will. A think-time
+// jitter on each activation de-synchronizes the cohort a stage boundary
+// wakes at once.
+func (d *Driver) runStaged(p *sim.Proc, i int, start, end sim.Time) {
+	active := false
+	for !d.stop && p.Now() < end {
+		on, next := d.Cfg.stageActive(i, time.Duration(p.Now()-start))
+		if !on {
+			active = false
+			if next < 0 {
+				return
+			}
+			p.SleepUntil(start + sim.Time(next))
+			continue
+		}
+		if !active {
+			active = true
+			p.Sleep(time.Duration(p.Rand().Float64() * float64(d.Cfg.ThinkTime)))
+			continue
+		}
+		d.oneOperation(p)
+		p.Sleep(sim.Exp(p.Rand(), d.Cfg.ThinkTime))
+	}
 }
 
 // StopEarly aborts the run at the next operation boundary of each user.

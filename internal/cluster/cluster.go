@@ -10,6 +10,7 @@ package cluster
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"cloudrepl/internal/cloud"
 	"cloudrepl/internal/repl"
@@ -40,6 +41,12 @@ type Config struct {
 	// PriorityApply runs every slave's SQL thread at high CPU priority
 	// (see server.DBServer.PriorityApply).
 	PriorityApply bool
+	// ProvisionTime is how long ProvisionSlave's snapshot transfer and
+	// restore take on the virtual timeline (default 30 s — roughly a
+	// mysqldump of the paper's data set over a zone-local link plus the VM
+	// boot). Writes committed during this window become the new replica's
+	// catch-up backlog.
+	ProvisionTime time.Duration
 }
 
 // Cluster is the running database tier.
@@ -172,8 +179,42 @@ func (c *Cluster) Failover() (*repl.Master, error) {
 // master (the mysqldump/xtrabackup flow) instead of re-running the
 // deterministic preload: the new node restores the master's current state
 // and attaches at exactly the binlog position the snapshot captured, so no
-// history needs replaying and no write is applied twice.
+// history needs replaying and no write is applied twice. The transfer is
+// instantaneous on the virtual timeline; use ProvisionSlave from a
+// simulation process for the realistic snapshot + catch-up flow.
 func (c *Cluster) AddSlaveFromMaster(spec NodeSpec) (*repl.Slave, error) {
+	srv, pos, err := c.snapshotProvision(spec)
+	if err != nil {
+		return nil, err
+	}
+	return c.attachProvisioned(srv, pos), nil
+}
+
+// ProvisionSlave is AddSlaveFromMaster with the cost the paper's operators
+// actually pay: the snapshot is captured at the current binlog position,
+// then Config.ProvisionTime elapses for transfer + restore + boot, and only
+// then does the replica attach and start replicating. Every write committed
+// during that window is its catch-up backlog, so a freshly provisioned
+// slave comes up stale and converges — the reason elastic scale-out needs a
+// warm-up gate before the proxy may route reads to it. Must be called from
+// a simulation process.
+func (c *Cluster) ProvisionSlave(p *sim.Proc, spec NodeSpec) (*repl.Slave, error) {
+	srv, pos, err := c.snapshotProvision(spec)
+	if err != nil {
+		return nil, err
+	}
+	d := c.cfg.ProvisionTime
+	if d <= 0 {
+		d = 30 * time.Second
+	}
+	p.Sleep(d)
+	return c.attachProvisioned(srv, pos), nil
+}
+
+// snapshotProvision launches a node and restores the master's state onto
+// it, returning the server and the binlog position the snapshot captured
+// (consistent by construction: both are taken at the same virtual instant).
+func (c *Cluster) snapshotProvision(spec NodeSpec) (*server.DBServer, uint64, error) {
 	if spec.Type.Name == "" {
 		spec.Type = cloud.Small
 	}
@@ -182,14 +223,18 @@ func (c *Cluster) AddSlaveFromMaster(spec NodeSpec) (*repl.Slave, error) {
 	inst := c.cloud.Launch(name, spec.Type, spec.Place)
 	srv := server.New(c.env, name, inst, c.cfg.Cost)
 	srv.PriorityApply = c.cfg.PriorityApply
-	// Snapshot and position are captured at the same instant; the virtual
-	// timeline makes the pair trivially consistent.
 	pos := c.master.Srv.Log.LastSeq()
 	if err := srv.Eng.Restore(c.master.Srv.Eng.Snapshot()); err != nil {
-		return nil, fmt.Errorf("cluster: provision %s: %w", name, err)
+		return nil, 0, fmt.Errorf("cluster: provision %s: %w", name, err)
 	}
+	return srv, pos, nil
+}
+
+// attachProvisioned wires a restored server into the replication topology
+// at its snapshot position.
+func (c *Cluster) attachProvisioned(srv *server.DBServer, pos uint64) *repl.Slave {
 	sl := repl.NewSlave(c.env, srv)
 	c.master.Attach(sl, pos)
 	c.slaves = append(c.slaves, sl)
-	return sl, nil
+	return sl
 }

@@ -10,6 +10,8 @@
 package core
 
 import (
+	"errors"
+	"fmt"
 	"time"
 
 	"cloudrepl/internal/cloud"
@@ -142,11 +144,64 @@ func (db *DB) ScaleOut(spec cluster.NodeSpec) error {
 	return err
 }
 
-// ScaleIn removes the most-lagged replica.
+// ErrNoSlaves is returned by ScaleBack when the cluster has no replica to
+// remove.
+var ErrNoSlaves = errors.New("core: no slave to remove")
+
+// ScaleIn removes the most-lagged replica immediately. The node is evicted
+// from the proxy's rotation before its instance terminates, so no *new*
+// read is ever routed to it — but reads already in flight when ScaleIn runs
+// will fail against the dead instance. Use ScaleBack from a simulation
+// process to also drain those.
 func (db *DB) ScaleIn() {
+	if worst := db.mostLagged(); worst != nil {
+		db.px.Quarantine(worst)
+		db.clu.RemoveSlave(worst)
+		db.px.Forget(worst)
+	}
+}
+
+// ScaleBack gracefully removes the most-lagged replica: the proxy stops
+// routing new reads to it, in-flight reads drain (bounded by drainTimeout;
+// ≤0 means 30 s), and only then is the node detached and its instance
+// terminated — so a scale-in under load is invisible to clients. It must be
+// called from a simulation process.
+func (db *DB) ScaleBack(p *sim.Proc, drainTimeout time.Duration) error {
+	worst := db.mostLagged()
+	if worst == nil {
+		return ErrNoSlaves
+	}
+	return db.RemoveSlaveGraceful(p, worst, drainTimeout)
+}
+
+// RemoveSlaveGraceful is ScaleBack for a caller-chosen replica. On drain
+// timeout the node is terminated anyway (in-flight reads on it will error
+// and take the retry path) and an error reports the abandonment.
+func (db *DB) RemoveSlaveGraceful(p *sim.Proc, sl *repl.Slave, drainTimeout time.Duration) error {
+	if drainTimeout <= 0 {
+		drainTimeout = 30 * time.Second
+	}
+	db.px.Quarantine(sl)
+	deadline := p.Now() + drainTimeout
+	for db.px.InflightReads(sl) > 0 && p.Now() < deadline {
+		p.Sleep(10 * time.Millisecond)
+	}
+	abandoned := db.px.InflightReads(sl)
+	db.clu.RemoveSlave(sl)
+	db.px.Forget(sl)
+	if abandoned > 0 {
+		return fmt.Errorf("core: scale-in of %s abandoned %d in-flight read(s) after %v",
+			sl.Srv.Name, abandoned, drainTimeout)
+	}
+	return nil
+}
+
+// mostLagged returns the attached replica furthest behind the master (nil
+// when none is attached).
+func (db *DB) mostLagged() *repl.Slave {
 	slaves := db.clu.Master().Slaves()
 	if len(slaves) == 0 {
-		return
+		return nil
 	}
 	worst := slaves[0]
 	for _, sl := range slaves[1:] {
@@ -154,7 +209,7 @@ func (db *DB) ScaleIn() {
 			worst = sl
 		}
 	}
-	db.clu.RemoveSlave(worst)
+	return worst
 }
 
 // Failover promotes a slave after a master failure and re-points the proxy.

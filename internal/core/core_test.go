@@ -257,3 +257,89 @@ func TestReadYourWritesOption(t *testing.T) {
 	env.Stop()
 	env.Shutdown()
 }
+
+// TestScaleBackDrainsInflightReads is the scale-in-ordering regression
+// test: removing a replica under live read load must quarantine it in the
+// proxy and drain its in-flight reads before the instance terminates, so
+// clients never observe a read failing against a dying node.
+func TestScaleBackDrainsInflightReads(t *testing.T) {
+	env, db := newDB(t, 21, 2, Options{})
+	const end = 2 * time.Minute
+
+	env.Go("seed", func(p *sim.Proc) {
+		if _, err := db.Exec(p, "INSERT INTO t (id, v) VALUES (1, 'x')"); err != nil {
+			t.Errorf("seed: %v", err)
+		}
+	})
+	// Heavy read load: reads take ~95 ms, so several are always in flight
+	// on each slave when the scale-in fires.
+	readErrs := 0
+	for r := 0; r < 8; r++ {
+		env.Go("reader", func(p *sim.Proc) {
+			p.Sleep(time.Second)
+			for p.Now() < end {
+				if _, err := db.Query(p, "SELECT v FROM t WHERE id = 1"); err != nil {
+					readErrs++
+				}
+				p.Sleep(20 * time.Millisecond)
+			}
+		})
+	}
+
+	var scaleErr error
+	env.Go("operator", func(p *sim.Proc) {
+		p.Sleep(30 * time.Second)
+		scaleErr = db.ScaleBack(p, 0)
+	})
+
+	env.RunUntil(sim.Time(end))
+	if scaleErr != nil {
+		t.Fatalf("ScaleBack: %v", scaleErr)
+	}
+	if readErrs != 0 {
+		t.Fatalf("%d client read(s) failed across a graceful scale-in", readErrs)
+	}
+	if n := len(db.Cluster().Slaves()); n != 1 {
+		t.Fatalf("want 1 slave after scale-in, got %d", n)
+	}
+	// The survivor keeps serving: reads continued after the removal.
+	if db.Proxy().Stats().Reads == 0 {
+		t.Fatal("no reads recorded")
+	}
+	env.Stop()
+	env.Shutdown()
+}
+
+// TestRemoveSlaveGracefulTimesOut: with a tiny drain budget and reads in
+// flight, the removal must still complete but report the abandonment.
+func TestRemoveSlaveGracefulTimesOut(t *testing.T) {
+	env, db := newDB(t, 22, 1, Options{})
+	sl := db.Cluster().Slaves()[0]
+
+	env.Go("seed", func(p *sim.Proc) {
+		db.Exec(p, "INSERT INTO t (id, v) VALUES (1, 'x')")
+	})
+	for r := 0; r < 4; r++ {
+		env.Go("reader", func(p *sim.Proc) {
+			p.Sleep(time.Second)
+			for p.Now() < 40*time.Second {
+				db.Query(p, "SELECT v FROM t WHERE id = 1")
+				p.Sleep(5 * time.Millisecond)
+			}
+		})
+	}
+	var gotErr error
+	env.Go("operator", func(p *sim.Proc) {
+		p.Sleep(10 * time.Second)
+		gotErr = db.RemoveSlaveGraceful(p, sl, 10*time.Millisecond)
+	})
+	env.RunUntil(sim.Time(time.Minute))
+	if gotErr == nil {
+		t.Fatal("expected an abandonment error from a 10ms drain budget under load")
+	}
+	if n := len(db.Cluster().Slaves()); n != 0 {
+		t.Fatalf("slave not removed: %d attached", n)
+	}
+	env.Stop()
+	env.Shutdown()
+}

@@ -1,0 +1,196 @@
+// Package elastic closes the control loop the paper's elasticity experiments
+// run by hand: it watches the replicated database tier (CPU utilization,
+// throughput, pool queueing, per-slave replication staleness), asks a policy
+// whether the slave fleet should grow or shrink, and actuates the decision
+// through the cluster (snapshot provisioning) and the proxy (warm-up
+// quarantine, graceful drain). Its distinguishing feature is master-bound
+// detection: §V of the paper shows that with a 50/50 read/write mix the
+// master saturates at ~3 slaves, after which adding replicas buys nothing —
+// the controller recognises that point, rolls back the ineffective replica,
+// and surfaces a MasterBound verdict instead of flapping against the ceiling.
+package elastic
+
+import (
+	"time"
+
+	"cloudrepl/internal/cloud"
+	"cloudrepl/internal/cluster"
+	"cloudrepl/internal/metrics"
+	"cloudrepl/internal/proxy"
+	"cloudrepl/internal/repl"
+	"cloudrepl/internal/sim"
+)
+
+// Sources tells the monitor where to read its signals. Cluster and Proxy are
+// required; Ops and PoolWaits are cumulative counters sampled each tick (nil
+// means the corresponding signal reads as zero).
+type Sources struct {
+	Cluster *cluster.Cluster
+	Proxy   *proxy.Proxy
+	// Ops returns the cumulative number of completed client operations.
+	Ops func() float64
+	// PoolWaits returns the cumulative number of pool borrows that had to
+	// queue — the application-side symptom of a saturated backend.
+	PoolWaits func() float64
+}
+
+// SlaveSample is one replica's state at a monitor tick.
+type SlaveSample struct {
+	Name string
+	// Util is the node's CPU utilization over the monitor window.
+	Util float64
+	// StalenessMs is the age of the oldest binlog event this replica has
+	// not applied yet (0 when caught up).
+	StalenessMs float64
+	// P95StalenessMs is the 95th-percentile staleness over the window.
+	P95StalenessMs float64
+	// LagEvents is the number of binlog events behind the master.
+	LagEvents uint64
+	// Admitted reports whether the proxy routes reads to this replica.
+	Admitted bool
+}
+
+// Sample is one tick's view of the whole tier.
+type Sample struct {
+	T sim.Time
+	// MasterUtil is the master's CPU utilization over the window.
+	MasterUtil float64
+	// Throughput is completed client operations per second over the window.
+	Throughput float64
+	// PoolWaitRate is pool-borrow waits per second over the window.
+	PoolWaitRate float64
+	// Slaves lists every attached replica in attach order.
+	Slaves []SlaveSample
+
+	// AdmittedCount is the number of replicas serving reads.
+	AdmittedCount int
+	// MeanAdmittedUtil averages Util over admitted replicas.
+	MeanAdmittedUtil float64
+	// WorstAdmittedStalenessMs is the worst current staleness across
+	// admitted replicas — what a client read can actually observe.
+	WorstAdmittedStalenessMs float64
+	// WorstAdmittedP95Ms is the worst windowed p95 staleness across
+	// admitted replicas — the signal the SLO policy steers on.
+	WorstAdmittedP95Ms float64
+}
+
+// Monitor samples the tier into rolling windows. It is driven by the
+// controller's tick loop; Sample must be called from a simulation callback
+// or process (single-threaded scheduler, no locking needed).
+type Monitor struct {
+	env    *sim.Env
+	src    Sources
+	window time.Duration
+
+	tput  *metrics.WindowedRate
+	waits *metrics.WindowedRate
+	busy  map[*cloud.Instance]*metrics.WindowedRate
+	stale map[*repl.Slave]*metrics.RollingWindow
+}
+
+// NewMonitor creates a monitor with the given rolling-window width.
+func NewMonitor(env *sim.Env, src Sources, window time.Duration) *Monitor {
+	if window <= 0 {
+		window = 60 * time.Second
+	}
+	return &Monitor{
+		env:    env,
+		src:    src,
+		window: window,
+		tput:   metrics.NewWindowedRate(window),
+		waits:  metrics.NewWindowedRate(window),
+		busy:   make(map[*cloud.Instance]*metrics.WindowedRate),
+		stale:  make(map[*repl.Slave]*metrics.RollingWindow),
+	}
+}
+
+// Window returns the monitor's rolling-window width.
+func (m *Monitor) Window() time.Duration { return m.window }
+
+// nodeUtil observes the instance's cumulative busy-seconds counter and
+// returns its windowed CPU utilization (fraction of capacity). BusySeconds
+// resets with the resource stats; WindowedRate's counter-reset guard makes
+// that a transient zero rather than a negative rate.
+func (m *Monitor) nodeUtil(now sim.Time, inst *cloud.Instance) float64 {
+	w := m.busy[inst]
+	if w == nil {
+		w = metrics.NewWindowedRate(m.window)
+		m.busy[inst] = w
+	}
+	w.Observe(now, inst.CPU.BusySeconds())
+	return w.Rate() / float64(inst.CPU.Cap())
+}
+
+// Sample reads every signal once and folds it into the rolling windows.
+func (m *Monitor) Sample() Sample {
+	now := m.env.Now()
+	s := Sample{T: now}
+
+	if m.src.Ops != nil {
+		m.tput.Observe(now, m.src.Ops())
+		s.Throughput = m.tput.Rate()
+	}
+	if m.src.PoolWaits != nil {
+		m.waits.Observe(now, m.src.PoolWaits())
+		s.PoolWaitRate = m.waits.Rate()
+	}
+
+	master := m.src.Cluster.Master()
+	s.MasterUtil = m.nodeUtil(now, master.Srv.Inst)
+
+	slaves := master.Slaves()
+	var utilSum float64
+	for _, sl := range slaves {
+		rw := m.stale[sl]
+		if rw == nil {
+			rw = metrics.NewRollingWindow(m.window)
+			m.stale[sl] = rw
+		}
+		staleMs := float64(sl.Staleness(now)) / float64(time.Millisecond)
+		rw.Observe(now, staleMs)
+
+		ss := SlaveSample{
+			Name:           sl.Srv.Name,
+			Util:           m.nodeUtil(now, sl.Srv.Inst),
+			StalenessMs:    staleMs,
+			P95StalenessMs: rw.Quantile(0.95),
+			LagEvents:      sl.EventsBehindMaster(),
+			Admitted:       sl.Srv.Up() && !m.src.Proxy.Quarantined(sl),
+		}
+		s.Slaves = append(s.Slaves, ss)
+		if ss.Admitted {
+			s.AdmittedCount++
+			utilSum += ss.Util
+			if ss.StalenessMs > s.WorstAdmittedStalenessMs {
+				s.WorstAdmittedStalenessMs = ss.StalenessMs
+			}
+			if ss.P95StalenessMs > s.WorstAdmittedP95Ms {
+				s.WorstAdmittedP95Ms = ss.P95StalenessMs
+			}
+		}
+	}
+	if s.AdmittedCount > 0 {
+		s.MeanAdmittedUtil = utilSum / float64(s.AdmittedCount)
+	}
+	m.prune(slaves)
+	return s
+}
+
+// prune drops window state for replicas no longer attached, so state does
+// not accumulate across scale-out/scale-in cycles. (Map iteration order is
+// irrelevant here: it only deletes.)
+func (m *Monitor) prune(attached []*repl.Slave) {
+	if len(m.stale) == len(attached) {
+		return
+	}
+	keep := make(map[*repl.Slave]bool, len(attached))
+	for _, sl := range attached {
+		keep[sl] = true
+	}
+	for sl := range m.stale {
+		if !keep[sl] {
+			delete(m.stale, sl)
+			delete(m.busy, sl.Srv.Inst)
+		}
+	}
+}

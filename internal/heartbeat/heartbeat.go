@@ -162,6 +162,43 @@ func AvgDelay(master *repl.Master, sl *repl.Slave, ids []int64) (ms float64, err
 	return metrics.TrimmedMean(delays, 0.05), nil
 }
 
+// Staleness is the pt-heartbeat-style probe: how long ago was the oldest
+// heartbeat the slave has *not* yet applied inserted on the master (0 when
+// fully caught up). Unlike SlaveDelays it needs no clock subtraction — it
+// compares the slave's table contents against the plugin's own insert log
+// on the virtual timeline. internal/elastic steers on the binlog-timestamp
+// variant of this same signal; this probe is the operator-visible
+// cross-check.
+func (pl *Plugin) Staleness(sl *repl.Slave, now sim.Time) (time.Duration, error) {
+	if pl.lastID == 0 {
+		return 0, nil
+	}
+	sess := sl.Srv.Session(DatabaseName)
+	newestApplied := int64(0)
+	for id := pl.lastID; id >= pl.firstID; id-- {
+		set, err := sess.Query("SELECT ts FROM heartbeat WHERE id = ?", sqlengine.NewInt(id))
+		if err != nil {
+			return 0, fmt.Errorf("heartbeat: staleness probe: %w", err)
+		}
+		if len(set.Rows) == 1 {
+			newestApplied = id
+			break
+		}
+	}
+	if newestApplied == pl.lastID {
+		return 0, nil
+	}
+	at, ok := pl.inserted[newestApplied+1]
+	if !ok {
+		return 0, fmt.Errorf("heartbeat: no insert record for id %d", newestApplied+1)
+	}
+	d := time.Duration(now - at)
+	if d < 0 {
+		d = 0
+	}
+	return d, nil
+}
+
 // RelativeDelay subtracts the unloaded baseline from the loaded average —
 // the paper's trick to cancel inter-instance clock offsets (§IV-B.1).
 func RelativeDelay(loadedMs, unloadedMs float64) float64 { return loadedMs - unloadedMs }

@@ -288,9 +288,11 @@ type Proxy struct {
 	// core.Open wires it to cluster.Failover.
 	OnMasterFailure func(p *sim.Proc) (*repl.Master, error)
 
-	inflight map[*repl.Slave]int
-	health   map[*repl.Slave]*slaveHealth
-	stats    Stats
+	inflight    map[*repl.Slave]int
+	health      map[*repl.Slave]*slaveHealth
+	quarantined map[*repl.Slave]bool
+	readsServed map[*repl.Slave]uint64
+	stats       Stats
 }
 
 // New creates a proxy for clients at clientPlace.
@@ -300,10 +302,69 @@ func New(env *sim.Env, net *cloud.Network, master *repl.Master, clientPlace clou
 	}
 	return &Proxy{
 		env: env, net: net, master: master, balancer: balancer,
-		client:   clientPlace,
-		inflight: make(map[*repl.Slave]int),
-		health:   make(map[*repl.Slave]*slaveHealth),
+		client:      clientPlace,
+		inflight:    make(map[*repl.Slave]int),
+		health:      make(map[*repl.Slave]*slaveHealth),
+		quarantined: make(map[*repl.Slave]bool),
+		readsServed: make(map[*repl.Slave]uint64),
 	}
+}
+
+// Quarantine removes sl from the read rotation without detaching it from
+// replication: a warming-up replica keeps catching up on its backlog but
+// serves no client reads until Admit. Scale-in uses the same gate to stop
+// new reads before draining and terminating a node.
+func (px *Proxy) Quarantine(sl *repl.Slave) { px.quarantined[sl] = true }
+
+// Admit returns a quarantined slave to the read rotation.
+func (px *Proxy) Admit(sl *repl.Slave) { delete(px.quarantined, sl) }
+
+// Quarantined reports whether sl is currently gated out of the rotation.
+func (px *Proxy) Quarantined(sl *repl.Slave) bool { return px.quarantined[sl] }
+
+// AdmittedSlaves returns the live, attached, non-quarantined slaves — the
+// set reads are actually balanced over right now.
+func (px *Proxy) AdmittedSlaves() []*repl.Slave {
+	live := liveSlaves(px.master)
+	out := live[:0:0]
+	for _, sl := range live {
+		if !px.quarantined[sl] {
+			out = append(out, sl)
+		}
+	}
+	return out
+}
+
+// InflightReads returns the number of reads this proxy currently has
+// outstanding against sl — the drain condition for graceful scale-in.
+func (px *Proxy) InflightReads(sl *repl.Slave) int { return px.inflight[sl] }
+
+// ReadsServed returns the number of reads sl has completed for this proxy.
+func (px *Proxy) ReadsServed(sl *repl.Slave) uint64 { return px.readsServed[sl] }
+
+// Drain quarantines sl and blocks the calling process until no read is in
+// flight against it or timeout elapses (≤0 = 30 s). It returns the number
+// of reads still outstanding — zero means the node can be terminated
+// without any client observing a dying backend.
+func (px *Proxy) Drain(p *sim.Proc, sl *repl.Slave, timeout time.Duration) int {
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	px.Quarantine(sl)
+	deadline := p.Now() + timeout
+	for px.inflight[sl] > 0 && p.Now() < deadline {
+		p.Sleep(10 * time.Millisecond)
+	}
+	return px.inflight[sl]
+}
+
+// Forget drops all per-slave bookkeeping for a removed replica so the maps
+// do not grow without bound across scale-out/scale-in cycles.
+func (px *Proxy) Forget(sl *repl.Slave) {
+	delete(px.inflight, sl)
+	delete(px.health, sl)
+	delete(px.quarantined, sl)
+	delete(px.readsServed, sl)
 }
 
 // Stats returns a snapshot of the routing counters.
@@ -477,6 +538,7 @@ func (c *Conn) execOnce(p *sim.Proc, isRead bool, sql string, args []sqlengine.V
 			px.noteSlaveError(p, sl)
 			return nil, err
 		}
+		px.readsServed[sl]++
 		px.noteSlaveOK(sl)
 		return &ExecResult{Result: res, Latency: p.Now() - start}, nil
 	}
@@ -519,11 +581,12 @@ func (px *Proxy) masterUsable(p *sim.Proc) bool {
 	return m.Srv.Up()
 }
 
-// eligibleSlaves filters live slaves through the eviction bench:
-// benched slaves are skipped until their ReadmitAfter window passes, then
-// counted as readmitted and probed again.
+// eligibleSlaves filters live slaves through the admission gate (warm-up
+// quarantine) and the eviction bench: benched slaves are skipped until
+// their ReadmitAfter window passes, then counted as readmitted and probed
+// again.
 func (px *Proxy) eligibleSlaves(p *sim.Proc) []*repl.Slave {
-	slaves := liveSlaves(px.master)
+	slaves := px.AdmittedSlaves()
 	if px.Retry.EvictAfter <= 0 {
 		return slaves
 	}

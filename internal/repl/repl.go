@@ -147,6 +147,28 @@ func (s *Slave) LastApplied() (masterTsMicros int64, appliedAt sim.Time) {
 	return s.appliedTs, s.appliedAt
 }
 
+// Staleness reports how far behind the master this slave's state is at
+// virtual time now: the age of the oldest master commit the slave has not
+// yet applied, or zero when fully caught up. It grows monotonically while
+// the applier is starved and collapses as the backlog drains — the quantity
+// the heartbeat methodology estimates, measured here directly on the
+// virtual timeline (no clock offset), which makes it usable as a control
+// signal by the elastic controller.
+func (s *Slave) Staleness(now sim.Time) time.Duration {
+	if s.master == nil {
+		return 0
+	}
+	log := s.master.Srv.Log
+	if log.LastSeq() <= s.appliedSeq {
+		return 0
+	}
+	d := now - log.CommittedAt(s.appliedSeq+1)
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
 // Stop halts the slave's replication threads after their current event.
 func (s *Slave) Stop() {
 	s.stopped = true

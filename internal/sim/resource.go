@@ -151,6 +151,16 @@ func (r *Resource) Utilization() float64 {
 	return r.busyIntegral / (elapsed * float64(r.cap))
 }
 
+// BusySeconds returns the cumulative busy integral (seconds·servers) since
+// the last ResetStats. It is a non-decreasing counter between resets, which
+// makes it the right input for windowed-utilization estimators that need
+// "how busy was this CPU over the last N seconds" rather than a run-wide
+// average.
+func (r *Resource) BusySeconds() float64 {
+	r.accumulate()
+	return r.busyIntegral
+}
+
 // AvgQueueLen returns the time-averaged number of waiting processes since
 // the last ResetStats.
 func (r *Resource) AvgQueueLen() float64 {
