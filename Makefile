@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-smoke figures examples vet fmt clean check
+.PHONY: all build test race bench bench-smoke fuzz-seed figures examples vet fmt clean check
 
 all: build vet test
 
@@ -30,10 +30,16 @@ bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
 
 # Quick end-to-end check that the bench CLI still runs and emits
-# machine-readable results: the A-ELASTIC ablation on the short protocol,
-# with BENCH_*.json written into results/.
+# machine-readable results: the A-ELASTIC and A-PIPELINE ablations on the
+# short protocol, with BENCH_*.json written into results/.
 bench-smoke:
 	$(GO) run ./cmd/cloudrepl-bench -ablation elastic -short -q -json results
+	$(GO) run ./cmd/cloudrepl-bench -ablation pipeline -short -q -json results
+
+# One pass over the checked-in binlog fuzz corpus (no new input generation:
+# every testdata/fuzz seed must keep passing).
+fuzz-seed:
+	$(GO) test ./internal/binlog -run '^Fuzz' -count=1
 
 # Regenerate every figure, table and ablation with the quick protocol.
 figures:
@@ -51,6 +57,7 @@ examples:
 	$(GO) run ./examples/instancelottery
 	$(GO) run ./examples/chaos
 	$(GO) run ./examples/elasticity
+	$(GO) run ./examples/pipeline
 
 clean:
 	rm -rf results test_output.txt bench_output.txt

@@ -7,6 +7,7 @@
 //	cloudrepl-bench -rtt              # half-RTT table (T-RTT)
 //	cloudrepl-bench -ablation sync,lb,var
 //	cloudrepl-bench -ablation elastic    # SLO-driven autoscaling (A-ELASTIC)
+//	cloudrepl-bench -ablation pipeline   # replication data path (A-PIPELINE)
 //	cloudrepl-bench -all -csv out/       # everything, with CSVs for plotting
 //	cloudrepl-bench -all -json out/      # machine-readable BENCH_*.json files
 //
@@ -29,7 +30,7 @@ import (
 func main() {
 	figs := flag.String("fig", "", "comma-separated figures to regenerate (2,3,4,5,6)")
 	rtt := flag.Bool("rtt", false, "measure the half-RTT table (T-RTT)")
-	ablations := flag.String("ablation", "", "comma-separated ablations (sync,lb,var,prio,arch,chaos,elastic)")
+	ablations := flag.String("ablation", "", "comma-separated ablations (sync,lb,var,prio,arch,chaos,elastic,pipeline)")
 	all := flag.Bool("all", false, "regenerate every figure, table and ablation")
 	short := flag.Bool("short", false, "use the 2/5/1-minute quick protocol instead of 10/20/5")
 	seed := flag.Int64("seed", 1, "base random seed")
@@ -54,7 +55,7 @@ func main() {
 		want["rtt"] = true
 	}
 	if *all {
-		for _, k := range []string{"fig2", "fig3", "fig4", "fig5", "fig6", "rtt", "ab-sync", "ab-lb", "ab-var", "ab-prio", "ab-arch", "ab-chaos", "ab-elastic"} {
+		for _, k := range []string{"fig2", "fig3", "fig4", "fig5", "fig6", "rtt", "ab-sync", "ab-lb", "ab-var", "ab-prio", "ab-arch", "ab-chaos", "ab-elastic", "ab-pipeline"} {
 			want[k] = true
 		}
 	}
@@ -206,6 +207,16 @@ func main() {
 		}
 		fmt.Println(experiment.RenderVariation(v))
 		writeJSON("var", experiment.VariationJSON(v))
+	}
+
+	if want["ab-pipeline"] {
+		banner("ablation: replication pipeline (A-PIPELINE)")
+		r, err := experiment.AblationPipeline(opts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(experiment.RenderPipeline(r))
+		writeJSON("pipeline", experiment.PipelineJSON(r))
 	}
 
 	if want["ab-elastic"] {

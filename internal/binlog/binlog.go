@@ -43,27 +43,91 @@ func (e Entry) Encode() []byte {
 	return buf
 }
 
-// Decode parses an encoded entry.
+// Decode parses exactly one encoded entry; trailing bytes are an error
+// (use DecodeFrom to scan a stream of concatenated entries).
 func Decode(buf []byte) (Entry, error) {
+	e, n, err := DecodeFrom(buf)
+	if err != nil {
+		return Entry{}, err
+	}
+	if n != len(buf) {
+		return Entry{}, fmt.Errorf("binlog: %d trailing byte(s) after entry", len(buf)-n)
+	}
+	return e, nil
+}
+
+// DecodeFrom parses one encoded entry from the front of buf and returns the
+// number of bytes consumed. Length prefixes are validated against the
+// remaining input in uint64 space, so an adversarial 4 GiB prefix can
+// neither wrap the offset arithmetic nor index past the buffer.
+func DecodeFrom(buf []byte) (Entry, int, error) {
 	var e Entry
 	if len(buf) < 24 {
-		return e, fmt.Errorf("binlog: truncated entry header")
+		return e, 0, fmt.Errorf("binlog: truncated entry header")
 	}
 	e.Seq = binary.LittleEndian.Uint64(buf[0:8])
 	e.TimestampMicros = int64(binary.LittleEndian.Uint64(buf[8:16]))
-	dbLen := int(binary.LittleEndian.Uint32(buf[16:20]))
-	if len(buf) < 20+dbLen+4 {
-		return e, fmt.Errorf("binlog: truncated database name")
+	dbLen := binary.LittleEndian.Uint32(buf[16:20])
+	if uint64(dbLen)+4 > uint64(len(buf)-20) {
+		return Entry{}, 0, fmt.Errorf("binlog: truncated database name")
 	}
-	e.Database = string(buf[20 : 20+dbLen])
-	off := 20 + dbLen
-	sqlLen := int(binary.LittleEndian.Uint32(buf[off : off+4]))
+	off := 20 + int(dbLen)
+	e.Database = string(buf[20:off])
+	sqlLen := binary.LittleEndian.Uint32(buf[off : off+4])
 	off += 4
-	if len(buf) < off+sqlLen {
-		return e, fmt.Errorf("binlog: truncated SQL text")
+	if uint64(sqlLen) > uint64(len(buf)-off) {
+		return Entry{}, 0, fmt.Errorf("binlog: truncated SQL text")
 	}
-	e.SQL = string(buf[off : off+sqlLen])
-	return e, nil
+	e.SQL = string(buf[off : off+int(sqlLen)])
+	return e, off + int(sqlLen), nil
+}
+
+// BatchWireSize returns the encoded size of a batch: a uint32 entry count
+// followed by the concatenated entries.
+func BatchWireSize(entries []Entry) int {
+	n := 4
+	for _, e := range entries {
+		n += e.WireSize()
+	}
+	return n
+}
+
+// EncodeBatch serializes a group of entries as one network transit — the
+// unit the batched dump thread ships.
+func EncodeBatch(entries []Entry) []byte {
+	buf := make([]byte, 4, BatchWireSize(entries))
+	binary.LittleEndian.PutUint32(buf, uint32(len(entries)))
+	for _, e := range entries {
+		buf = append(buf, e.Encode()...)
+	}
+	return buf
+}
+
+// DecodeBatch parses an encoded batch, rejecting trailing bytes and count
+// prefixes that could not possibly fit the remaining input (each entry is
+// at least 24 bytes, which bounds allocation before any parsing happens).
+func DecodeBatch(buf []byte) ([]Entry, error) {
+	if len(buf) < 4 {
+		return nil, fmt.Errorf("binlog: truncated batch header")
+	}
+	count := binary.LittleEndian.Uint32(buf)
+	rest := buf[4:]
+	if uint64(count)*24 > uint64(len(rest)) {
+		return nil, fmt.Errorf("binlog: batch count %d exceeds payload", count)
+	}
+	entries := make([]Entry, 0, count)
+	for i := uint32(0); i < count; i++ {
+		e, n, err := DecodeFrom(rest)
+		if err != nil {
+			return nil, fmt.Errorf("binlog: batch entry %d: %w", i, err)
+		}
+		entries = append(entries, e)
+		rest = rest[n:]
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("binlog: %d trailing byte(s) after batch", len(rest))
+	}
+	return entries, nil
 }
 
 // Log is an in-memory append-only binlog with blocking tail readers.

@@ -47,6 +47,10 @@ type Config struct {
 	// boot). Writes committed during this window become the new replica's
 	// catch-up backlog.
 	ProvisionTime time.Duration
+	// Pipeline configures the replication data path: master group commit,
+	// batched binlog shipping, and parallel slave apply. The zero value is
+	// the classic one-statement-at-a-time path.
+	Pipeline repl.PipelineConfig
 }
 
 // Cluster is the running database tier.
@@ -76,7 +80,9 @@ func New(env *sim.Env, cl *cloud.Cloud, cfg Config) (*Cluster, error) {
 			return nil, fmt.Errorf("cluster: preload master: %w", err)
 		}
 	}
+	mSrv.GroupCommitWindow = cfg.Pipeline.GroupCommitWindow
 	c.master = repl.NewMaster(env, mSrv, cl.Network(), cfg.Mode)
+	c.master.Pipeline = cfg.Pipeline
 	c.basePos = mSrv.Log.LastSeq()
 	for _, spec := range cfg.Slaves {
 		if _, err := c.AddSlave(spec); err != nil {
@@ -157,7 +163,9 @@ func (c *Cluster) Failover() (*repl.Master, error) {
 	// The promoted server's binlog mirrors the old master's (same preload,
 	// same applied statements in order, log-slave-updates style), so the
 	// old sequence numbering remains valid for re-attachment.
+	best.Srv.GroupCommitWindow = c.cfg.Pipeline.GroupCommitWindow
 	newMaster := repl.NewMaster(c.env, best.Srv, c.cloud.Network(), c.cfg.Mode)
+	newMaster.Pipeline = c.cfg.Pipeline
 	c.master = newMaster
 	c.slaves = nil
 	for _, old := range rest {

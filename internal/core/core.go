@@ -279,11 +279,13 @@ func (db *DB) ValidateInstances(p *sim.Proc, probes int) []InstanceReport {
 type Stats struct {
 	Proxy proxy.Stats
 	Pool  pool.Stats
+	Repl  repl.Stats
 }
 
-// Stats returns a snapshot of proxy routing and pool activity counters.
+// Stats returns a snapshot of proxy routing, pool activity and replication
+// pipeline counters.
 func (db *DB) Stats() Stats {
-	return Stats{Proxy: db.px.Stats(), Pool: db.pool.Stats()}
+	return Stats{Proxy: db.px.Stats(), Pool: db.pool.Stats(), Repl: db.clu.Master().Stats()}
 }
 
 // Close shuts the connection pool; the cluster keeps running (databases

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 	"time"
@@ -396,5 +397,58 @@ func TestAblationRenderers(t *testing.T) {
 	}
 	if out := RenderApplierPriority(pr); !strings.Contains(out, "FIFO (MySQL-like)") {
 		t.Fatalf("priority render:\n%s", out)
+	}
+}
+
+func TestPipelineResultAccessorsAndRender(t *testing.T) {
+	r := PipelineResult{
+		Loc:      SameZone,
+		UserNums: []int{50, 100, 150},
+		Curves: []PipelineCurve{
+			{
+				Variant: "baseline", Slaves: 4,
+				Unloaded: RunResult{AvgDelayMs: 40},
+				Points: []PipelinePoint{
+					{Users: 50, Res: RunResult{Throughput: 10, P95DelayMs: 90}},
+					{Users: 100, Res: RunResult{Throughput: 21, P95DelayMs: 300}},
+					{Users: 150, Res: RunResult{Throughput: 19, P95DelayMs: 9000}},
+				},
+				KneeUsers: 150, MaxTp: 21, KneeFound: true,
+			},
+			{
+				Variant: "full-pipeline", Slaves: 4,
+				Unloaded: RunResult{AvgDelayMs: 41},
+				Points: []PipelinePoint{
+					{Users: 50, Res: RunResult{Throughput: 10, P95DelayMs: 85}},
+					{Users: 100, Res: RunResult{Throughput: 22, P95DelayMs: 250}},
+					{Users: 150, Res: RunResult{Throughput: 27, P95DelayMs: 400}},
+				},
+				KneeUsers: 150, MaxTp: 27, KneeFound: false,
+			},
+		},
+	}
+	c := r.Curve("baseline", 4)
+	if c == nil || c.MaxTp != 21 {
+		t.Fatalf("Curve lookup failed: %+v", c)
+	}
+	if r.Curve("baseline", 2) != nil || r.Curve("nope", 4) != nil {
+		t.Fatal("Curve matched a missing variant/slave combination")
+	}
+	// p95 at or below the knee: the 150-user point is AT the knee so it
+	// counts; for the unbounded curve every point counts.
+	if got := c.loadedP95(); got != 9000 {
+		t.Fatalf("baseline loadedP95 = %v, want 9000", got)
+	}
+	if got := r.Curve("full-pipeline", 4).loadedP95(); got != 400 {
+		t.Fatalf("full-pipeline loadedP95 = %v, want 400", got)
+	}
+	out := RenderPipeline(r)
+	for _, want := range []string{"A-PIPELINE", "baseline", "full-pipeline", ">150"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	if _, err := json.Marshal(PipelineJSON(r)); err != nil {
+		t.Fatalf("PipelineJSON not marshalable: %v", err)
 	}
 }

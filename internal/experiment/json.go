@@ -260,6 +260,42 @@ func ElasticJSON(r ElasticResult) any {
 	}
 }
 
+// PipelineJSON flattens A-PIPELINE: one object per variant × slave-count
+// curve with its knee, unloaded baseline, and per-point p95 tail delays.
+func PipelineJSON(r PipelineResult) any {
+	type point struct {
+		runRow
+		P95DelayMs float64 `json:"p95_delay_ms"`
+	}
+	var curves []map[string]any
+	for _, c := range r.Curves {
+		points := []point{}
+		var last RunResult
+		for _, pt := range c.Points {
+			points = append(points, point{newRunRow(pt.Res), pt.Res.P95DelayMs})
+			last = pt.Res
+		}
+		curves = append(curves, map[string]any{
+			"variant":           c.Variant,
+			"slaves":            c.Slaves,
+			"knee_users":        c.KneeUsers,
+			"knee_found":        c.KneeFound,
+			"max_throughput":    c.MaxTp,
+			"unloaded_delay_ms": c.Unloaded.AvgDelayMs,
+			"p95_at_knee_ms":    c.loadedP95(),
+			"group_commits":     last.ReplStats.GroupCommits,
+			"batches_shipped":   last.ReplStats.BatchesShipped,
+			"entries_shipped":   last.ReplStats.EntriesShipped,
+			"points":            points,
+		})
+	}
+	return map[string]any{
+		"loc":    locTag(r.Loc),
+		"users":  r.UserNums,
+		"curves": curves,
+	}
+}
+
 // WriteJSON marshals v (indented, trailing newline) into
 // <dir>/BENCH_<name>.json, creating dir as needed.
 func WriteJSON(dir, name string, v any) error {

@@ -91,6 +91,10 @@ type RunSpec struct {
 	// Retry, when non-nil, enables the proxy's retry/eviction/failover
 	// policy — chaos runs pair a schedule with proxy.DefaultRetryPolicy().
 	Retry *proxy.RetryPolicy
+	// Pipeline configures the replication data path (group commit, batched
+	// shipping, parallel apply); the zero value is the classic path the
+	// paper measured (A-PIPELINE sweeps this).
+	Pipeline repl.PipelineConfig
 }
 
 func (s *RunSpec) applyDefaults() {
@@ -129,6 +133,10 @@ type RunResult struct {
 	// relative delay).
 	AvgDelayMs      float64
 	PerSlaveDelayMs []float64
+	// P95DelayMs is the 95th-percentile heartbeat delay over the pooled
+	// per-slave samples (unapplied heartbeats substituted with the worst
+	// observed delay) — the tail metric the pipeline ablation guards.
+	P95DelayMs float64
 
 	// Utilizations over the steady window.
 	MasterUtil float64
@@ -155,9 +163,12 @@ type RunResult struct {
 	OpsSeries *metrics.TimeSeries
 
 	// ProxyStats and PoolStats snapshot the middleware counters at the end
-	// of the run (retries, timeouts, evictions, failovers, waits, ...).
+	// of the run (retries, timeouts, evictions, failovers, waits, ...);
+	// ReplStats snapshots the master's replication pipeline counters
+	// (group commits, batches shipped, semi-sync degradations).
 	ProxyStats proxy.Stats
 	PoolStats  pool.Stats
+	ReplStats  repl.Stats
 
 	// FinalMaster names the server acting as master when the run ended —
 	// after a master-crash scenario this is the promoted slave.
@@ -202,6 +213,7 @@ func Run(spec RunSpec) (RunResult, error) {
 		Slaves:        slaveSpecs,
 		Preload:       preload,
 		PriorityApply: spec.PriorityApply,
+		Pipeline:      spec.Pipeline,
 	})
 	if err != nil {
 		return RunResult{}, fmt.Errorf("experiment: %w", err)
@@ -305,6 +317,7 @@ func Run(spec RunSpec) (RunResult, error) {
 		FinalMaster:   clu.Master().Srv.Name,
 		ChaosLog:      inj.Log(),
 		ChaosCounters: inj.Counters(),
+		ReplStats:     clu.Master().Stats(),
 	}
 	dres := driver.Result()
 	res.Throughput = dres.Throughput
@@ -318,13 +331,19 @@ func Run(spec RunSpec) (RunResult, error) {
 	ids := hb.IDsInWindow(steadyFrom, steadyTo)
 	if len(ids) > 0 {
 		var sum float64
+		var pooled []float64
 		for _, sl := range clu.Slaves() {
-			ms, err := heartbeat.AvgDelay(clu.Master(), sl, ids)
+			delays, err := heartbeat.PaddedDelays(clu.Master(), sl, ids)
+			var ms float64
 			if err != nil {
 				// The slave applied none of the window's heartbeats: its
 				// delay is unbounded; report the elapsed time since the
 				// window midpoint as a lower bound.
 				ms = float64((env.Now() - (steadyFrom+steadyTo)/2).Milliseconds())
+				pooled = append(pooled, ms)
+			} else {
+				ms = metrics.TrimmedMean(delays, 0.05)
+				pooled = append(pooled, delays...)
 			}
 			res.PerSlaveDelayMs = append(res.PerSlaveDelayMs, ms)
 			sum += ms
@@ -332,6 +351,7 @@ func Run(spec RunSpec) (RunResult, error) {
 		if len(res.PerSlaveDelayMs) > 0 {
 			res.AvgDelayMs = sum / float64(len(res.PerSlaveDelayMs))
 		}
+		res.P95DelayMs = metrics.Quantile(pooled, 0.95)
 	}
 
 	env.Stop()

@@ -133,20 +133,21 @@ func tableTimestamps(srv *server.DBServer, ids []int64) (map[int64]int64, error)
 	return out, nil
 }
 
-// AvgDelay is the paper's estimator: the mean of per-id delays after
-// trimming the top and bottom 5%. Unapplied heartbeats are assigned the
-// worst observed delay so a badly backlogged slave is not reported as
-// fast merely because samples are missing.
-func AvgDelay(master *repl.Master, sl *repl.Slave, ids []int64) (ms float64, err error) {
+// PaddedDelays returns the per-id delays with every unapplied heartbeat
+// substituted by the worst observed delay, so a badly backlogged slave is
+// not reported as fast merely because samples are missing. This is the raw
+// sample set behind both the paper's trimmed-mean estimator and the
+// pipeline ablation's p95.
+func PaddedDelays(master *repl.Master, sl *repl.Slave, ids []int64) ([]float64, error) {
 	delays, missing, err := SlaveDelays(master, sl, ids)
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
 	if len(delays) == 0 {
 		if missing > 0 {
-			return 0, fmt.Errorf("heartbeat: no heartbeat applied on %s (%d outstanding)", sl.Srv.Name, missing)
+			return nil, fmt.Errorf("heartbeat: no heartbeat applied on %s (%d outstanding)", sl.Srv.Name, missing)
 		}
-		return 0, fmt.Errorf("heartbeat: no samples")
+		return nil, fmt.Errorf("heartbeat: no samples")
 	}
 	if missing > 0 {
 		worst := delays[0]
@@ -158,6 +159,17 @@ func AvgDelay(master *repl.Master, sl *repl.Slave, ids []int64) (ms float64, err
 		for i := 0; i < missing; i++ {
 			delays = append(delays, worst)
 		}
+	}
+	return delays, nil
+}
+
+// AvgDelay is the paper's estimator: the mean of per-id delays after
+// trimming the top and bottom 5%. Unapplied heartbeats are assigned the
+// worst observed delay (see PaddedDelays).
+func AvgDelay(master *repl.Master, sl *repl.Slave, ids []int64) (ms float64, err error) {
+	delays, err := PaddedDelays(master, sl, ids)
+	if err != nil {
+		return 0, err
 	}
 	return metrics.TrimmedMean(delays, 0.05), nil
 }

@@ -71,6 +71,11 @@ func Trim(xs []float64, frac float64) []float64 {
 	sorted := append([]float64(nil), xs...)
 	sort.Float64s(sorted)
 	cut := int(float64(len(sorted)) * frac)
+	if cut < 0 {
+		// A negative frac would otherwise produce negative slice bounds;
+		// treat it as "no trimming".
+		cut = 0
+	}
 	if 2*cut >= len(sorted) {
 		// Degenerate: keep the median.
 		return sorted[len(sorted)/2 : len(sorted)/2+1]
@@ -90,6 +95,22 @@ func TrimmedMean(xs []float64, frac float64) float64 {
 		sum += v
 	}
 	return sum / float64(len(t))
+}
+
+// Quantile returns the nearest-rank q-quantile of xs (0 for an empty
+// slice); xs is not modified. q is clamped to [0, 1].
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	return quantileSorted(sorted, q)
 }
 
 // Histogram collects durations.

@@ -127,3 +127,89 @@ func TestTimeSeriesWindows(t *testing.T) {
 		t.Fatal("series accessors broken")
 	}
 }
+
+// The paper's 5%-trimmed mean must behave at the sample-count boundaries:
+// below 20 samples the per-side cut rounds to zero (plain mean), at 20+ it
+// removes exactly one sample per side, and a degenerate all-equal set stays
+// unchanged in value.
+func TestTrimmedMeanSampleCountBoundaries(t *testing.T) {
+	ascending := func(n int) []float64 {
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = float64(i + 1)
+		}
+		return xs
+	}
+	mean := func(xs []float64) float64 {
+		var sum float64
+		for _, v := range xs {
+			sum += v
+		}
+		if len(xs) == 0 {
+			return 0
+		}
+		return sum / float64(len(xs))
+	}
+	cases := []struct {
+		name     string
+		xs       []float64
+		wantLen  int     // surviving samples after the 5% trim
+		wantMean float64 // expected TrimmedMean(xs, 0.05)
+	}{
+		{"n=0", ascending(0), 0, 0},
+		{"n=1", ascending(1), 1, 1},
+		{"n=19 no cut", ascending(19), 19, mean(ascending(19))},
+		{"n=20 cuts one per side", ascending(20), 18, mean(ascending(20)[1:19])},
+		{"n=21 cuts one per side", ascending(21), 19, mean(ascending(21)[1:20])},
+		{"all equal", []float64{7, 7, 7, 7, 7}, 5, 7},
+		{"all equal n=40", func() []float64 {
+			xs := make([]float64, 40)
+			for i := range xs {
+				xs[i] = 3.5
+			}
+			return xs
+		}(), 36, 3.5},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := len(Trim(tc.xs, 0.05)); got != tc.wantLen {
+				t.Fatalf("Trim kept %d samples, want %d", got, tc.wantLen)
+			}
+			if got := TrimmedMean(tc.xs, 0.05); math.Abs(got-tc.wantMean) > 1e-9 {
+				t.Fatalf("TrimmedMean = %v, want %v", got, tc.wantMean)
+			}
+		})
+	}
+}
+
+// A negative fraction used to produce negative slice bounds and panic; it
+// must now mean "no trimming".
+func TestTrimNegativeFrac(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	got := Trim(xs, -0.05)
+	if len(got) != 3 {
+		t.Fatalf("Trim(-0.05) kept %d samples, want 3", len(got))
+	}
+	if TrimmedMean(xs, -1) != 2 {
+		t.Fatalf("TrimmedMean(-1) = %v, want 2", TrimmedMean(xs, -1))
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	if got := Quantile(nil, 0.95); got != 0 {
+		t.Fatalf("Quantile(nil) = %v", got)
+	}
+	xs := []float64{50, 10, 40, 30, 20} // unsorted on purpose
+	cases := []struct {
+		q    float64
+		want float64
+	}{{0, 10}, {0.5, 30}, {0.95, 40}, {1, 50}, {-1, 10}, {2, 50}}
+	for _, tc := range cases {
+		if got := Quantile(xs, tc.q); got != tc.want {
+			t.Fatalf("Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+	if xs[0] != 50 {
+		t.Fatal("Quantile mutated its input")
+	}
+}

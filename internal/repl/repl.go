@@ -44,20 +44,91 @@ func (m Mode) String() string {
 	}
 }
 
+// PipelineConfig tunes the replication data path. The zero value is the
+// legacy per-entry pipeline: no group commit, one network transit per
+// binlog event, a single SQL applier thread per slave.
+type PipelineConfig struct {
+	// GroupCommitWindow enables master-side binlog group commit (see
+	// server.DBServer.GroupCommitWindow); cluster wiring copies it onto
+	// the master's server.
+	GroupCommitWindow time.Duration
+	// BatchMaxEntries caps how many binlog entries a dump thread coalesces
+	// into one network transit (≤1 disables batching). The dump thread
+	// never waits to fill a batch: it drains whatever backlog exists and
+	// ships immediately, so an idle master keeps per-entry latency.
+	BatchMaxEntries int
+	// BatchMaxBytes additionally caps a batch by encoded wire size
+	// (0 = no byte cap).
+	BatchMaxBytes int
+	// ApplyWorkers is the number of SQL applier threads per slave (≤1
+	// keeps the single-threaded applier). Workers apply entries touching
+	// disjoint tables concurrently; conflicting entries keep commit order
+	// via table-level dependency tracking.
+	ApplyWorkers int
+}
+
 // Master wraps a DBServer with replication state.
 type Master struct {
 	Srv  *server.DBServer
 	Net  *cloud.Network
 	Mode Mode
 	// SemiSyncTimeout bounds the wait for a receipt acknowledgement before
-	// degrading to asynchronous for that commit (MySQL's rpl_semi_sync
-	// behaviour). Zero means wait forever.
+	// degrading to asynchronous (MySQL's rpl_semi_sync behaviour). Zero
+	// means wait forever.
 	SemiSyncTimeout time.Duration
+	// Pipeline tunes batching and parallel apply. Set it before Attach;
+	// attached slaves keep the configuration they were wired with.
+	Pipeline PipelineConfig
 
 	env      *sim.Env
 	slaves   []*Slave
 	ackCh    *sim.Signal // broadcast whenever any slave ack arrives
 	detached map[*Slave]bool
+
+	// Semi-sync degradation state (MySQL rpl_semi_sync): after a timeout
+	// the master stops waiting per-commit and counts the commits it
+	// acknowledged without a slave receipt; it upgrades back once a slave
+	// acknowledges the current end of the binlog.
+	degraded        bool
+	degradedCommits uint64
+	reupgrades      uint64
+
+	batchesShipped uint64
+	entriesShipped uint64
+}
+
+// Stats snapshots the master's replication-path counters.
+type Stats struct {
+	// Degraded reports whether semi-sync is currently degraded to async
+	// (always false in Async and Sync modes).
+	Degraded bool
+	// DegradedCommits counts commits acknowledged without waiting for a
+	// slave receipt — MySQL's Rpl_semi_sync_master_no_tx.
+	DegradedCommits uint64
+	// Reupgrades counts async→semi-sync recoveries after a slave caught
+	// back up to the end of the binlog.
+	Reupgrades uint64
+	// BatchesShipped and EntriesShipped count dump-thread network transits
+	// and the binlog entries they carried, summed over all slaves.
+	BatchesShipped uint64
+	EntriesShipped uint64
+	// GroupCommits and GroupedWrites mirror the master server's group
+	// commit counters (fsync groups formed and writes that joined one).
+	GroupCommits  uint64
+	GroupedWrites uint64
+}
+
+// Stats returns a snapshot of the replication-path counters.
+func (m *Master) Stats() Stats {
+	return Stats{
+		Degraded:        m.degraded,
+		DegradedCommits: m.degradedCommits,
+		Reupgrades:      m.reupgrades,
+		BatchesShipped:  m.batchesShipped,
+		EntriesShipped:  m.entriesShipped,
+		GroupCommits:    m.Srv.Stats().GroupCommits,
+		GroupedWrites:   m.Srv.Stats().GroupedWrites,
+	}
 }
 
 // NewMaster creates a replication master around srv.
@@ -91,8 +162,8 @@ type Slave struct {
 	Srv *server.DBServer
 
 	master *Master
-	io     *sim.Queue[binlog.Entry] // network delivery → I/O thread
-	relay  *sim.Queue[binlog.Entry] // relay log → SQL thread
+	io     *sim.Queue[[]binlog.Entry] // network delivery (batches) → I/O thread
+	relay  *sim.Queue[binlog.Entry]   // relay log → SQL thread(s)
 
 	receivedSeq uint64 // newest seq in relay log
 	appliedSeq  uint64 // newest seq applied
@@ -110,7 +181,7 @@ type Slave struct {
 func NewSlave(env *sim.Env, srv *server.DBServer) *Slave {
 	return &Slave{
 		Srv:   srv,
-		io:    sim.NewQueue[binlog.Entry](env, srv.Name+"/io"),
+		io:    sim.NewQueue[[]binlog.Entry](env, srv.Name+"/io"),
 		relay: sim.NewQueue[binlog.Entry](env, srv.Name+"/relay"),
 	}
 }
@@ -196,6 +267,12 @@ func (m *Master) Attach(sl *Slave, startPos uint64) {
 		})
 	}
 
+	maxEntries := m.Pipeline.BatchMaxEntries
+	if maxEntries < 1 {
+		maxEntries = 1
+	}
+	maxBytes := m.Pipeline.BatchMaxBytes
+
 	reader := m.Srv.Log.NewReader(startPos)
 	m.env.Go(m.Srv.Name+"/dump→"+sl.Srv.Name, func(p *sim.Proc) {
 		for !sl.stopped && m.Srv.Up() {
@@ -205,14 +282,30 @@ func (m *Master) Attach(sl *Slave, startPos uint64) {
 			if sl.stopped || !m.Srv.Up() {
 				return
 			}
-			m.Srv.DumpWork(p)
-			pipe.Send(e)
+			// Coalesce whatever backlog exists, up to the entry/byte caps,
+			// into one transit. Never wait for more: an idle master ships
+			// a batch of one immediately, so unloaded latency is the
+			// per-entry path's.
+			batch := []binlog.Entry{e}
+			bytes := e.WireSize()
+			for len(batch) < maxEntries && (maxBytes <= 0 || bytes < maxBytes) {
+				next, ok := reader.TryNext()
+				if !ok {
+					break
+				}
+				batch = append(batch, next)
+				bytes += next.WireSize()
+			}
+			m.Srv.DumpBatchWork(p, len(batch))
+			m.batchesShipped++
+			m.entriesShipped += uint64(len(batch))
+			pipe.Send(batch)
 		}
 	})
 
 	m.env.Go(sl.Srv.Name+"/io", func(p *sim.Proc) {
 		for {
-			e, ok := sl.io.Get(p)
+			batch, ok := sl.io.Get(p)
 			if !ok {
 				return
 			}
@@ -223,15 +316,52 @@ func (m *Master) Attach(sl *Slave, startPos uint64) {
 			if sl.stopped {
 				return
 			}
-			sl.Srv.RelayWork(p)
-			sl.receivedSeq = e.Seq
-			sl.relay.Put(e)
-			if m.Mode == SemiSync {
-				ackPipe(ack{slave: sl, seq: e.Seq, applied: false})
+			// Batched shipping, slave half: drain whatever further batches
+			// are already queued on the socket and relay them under one
+			// amortized CPU charge. Without this, a read-loaded slave
+			// ingests one batch per CPU-queue round trip and the relay log
+			// can never build the backlog parallel apply needs.
+			if maxEntries > 1 || maxBytes > 0 {
+				bytes := 0
+				for _, e := range batch {
+					bytes += e.WireSize()
+				}
+				for len(batch) < maxEntries && (maxBytes <= 0 || bytes < maxBytes) {
+					more, any := sl.io.TryGet()
+					if !any {
+						break
+					}
+					for _, e := range more {
+						batch = append(batch, e)
+						bytes += e.WireSize()
+					}
+				}
+			}
+			sl.Srv.RelayBatchWork(p, len(batch))
+			var last uint64
+			for _, e := range batch {
+				// Drop already-received entries (a reattach or retransmit
+				// can replay the stream) so nothing enters the relay log —
+				// and the appliers — twice.
+				if e.Seq <= sl.receivedSeq {
+					continue
+				}
+				sl.receivedSeq = e.Seq
+				sl.relay.Put(e)
+				last = e.Seq
+			}
+			if m.Mode == SemiSync && last > 0 {
+				// One receipt for the whole batch: acknowledging the last
+				// sequence covers every earlier one.
+				ackPipe(ack{slave: sl, seq: last, applied: false})
 			}
 		}
 	})
 
+	if m.Pipeline.ApplyWorkers > 1 {
+		m.startParallelApplier(sl, ackPipe, m.Pipeline.ApplyWorkers)
+		return
+	}
 	sess := sl.Srv.Session("")
 	m.env.Go(sl.Srv.Name+"/sql", func(p *sim.Proc) {
 		for {
@@ -278,19 +408,37 @@ func (m *Master) deliverAck(a ack) {
 			a.slave.masterAckReceipt = a.seq
 		}
 	}
+	// MySQL rpl_semi_sync recovery: degraded semi-sync upgrades back once
+	// a slave acknowledges the current end of the binlog — not merely the
+	// old position that timed out — so commits that raced ahead while
+	// degraded are covered by the time waiting resumes.
+	if m.degraded && !m.detached[a.slave] && a.seq >= m.Srv.Log.LastSeq() {
+		m.degraded = false
+		m.reupgrades++
+	}
 	m.ackCh.Broadcast()
 }
 
 // WaitCommitted blocks the calling process until the synchronization model
 // considers binlog position seq committed: immediately for Async, first
-// relay-log receipt for SemiSync (degrading to async after the timeout),
-// all slaves applied for Sync. It reports whether the wait fully satisfied
-// the model (false = semi-sync timeout degradation).
+// relay-log receipt for SemiSync, all slaves applied for Sync. It reports
+// whether the wait fully satisfied the model. A semi-sync timeout degrades
+// the master to async — this and every later commit return false without
+// waiting (counted in Stats.DegradedCommits) until a slave catches back up
+// to the end of the binlog and deliverAck re-upgrades the mode.
 func (m *Master) WaitCommitted(p *sim.Proc, seq uint64) bool {
 	switch m.Mode {
 	case Async:
 		return true
 	case SemiSync:
+		// While degraded, commits return immediately as unacknowledged
+		// instead of re-paying the timeout each — MySQL's master stops
+		// waiting after rpl_semi_sync_master_timeout fires and resumes
+		// only via the deliverAck re-upgrade.
+		if m.degraded {
+			m.degradedCommits++
+			return false
+		}
 		deadline := sim.MaxTime
 		if m.SemiSyncTimeout > 0 {
 			deadline = p.Now() + m.SemiSyncTimeout
@@ -302,11 +450,15 @@ func (m *Master) WaitCommitted(p *sim.Proc, seq uint64) bool {
 				}
 			}
 			if len(m.Slaves()) == 0 {
+				m.degraded = true
+				m.degradedCommits++
 				return false
 			}
 			if m.SemiSyncTimeout > 0 {
 				remain := deadline - p.Now()
 				if remain <= 0 || !m.ackCh.WaitTimeout(p, remain) {
+					m.degraded = true
+					m.degradedCommits++
 					return false
 				}
 			} else {

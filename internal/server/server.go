@@ -38,6 +38,21 @@ type CostModel struct {
 	// RelayPerEvent is the slave CPU spent by the I/O thread per event
 	// written to the relay log.
 	RelayPerEvent time.Duration
+
+	// CommitFsync is the binlog write+fsync portion of WriteBase. It only
+	// matters when group commit is enabled (DBServer.GroupCommitWindow > 0):
+	// the fsync is then paid once per commit *group* as serialized disk
+	// time instead of once per statement as CPU, which is what lifts the
+	// per-write master ceiling.
+	CommitFsync time.Duration
+	// DumpPerEntryBatched is the marginal master CPU per additional binlog
+	// event in a batched dump transit (the first event of every batch pays
+	// the full DumpPerEvent). Zero falls back to DumpPerEvent, i.e. no
+	// batching advantage.
+	DumpPerEntryBatched time.Duration
+	// RelayPerEntryBatched is the slave-side equivalent for batched relay
+	// writes.
+	RelayPerEntryBatched time.Duration
 }
 
 // DefaultCostModel returns the calibrated model (see DESIGN.md §5).
@@ -51,6 +66,10 @@ func DefaultCostModel() CostModel {
 		ApplyFactor:    0.5,
 		DumpPerEvent:   1200 * time.Microsecond,
 		RelayPerEvent:  300 * time.Microsecond,
+
+		CommitFsync:          30 * time.Millisecond,
+		DumpPerEntryBatched:  150 * time.Microsecond,
+		RelayPerEntryBatched: 60 * time.Microsecond,
 	}
 }
 
@@ -87,6 +106,13 @@ type Stats struct {
 	Writes  uint64
 	Applied uint64
 	DDL     uint64
+
+	// GroupCommits counts binlog fsync groups; GroupedWrites counts the
+	// autocommit writes that committed through them. Their ratio is the
+	// achieved amortization (1.0 = no grouping happened).
+	GroupCommits  uint64
+	GroupedWrites uint64
+	MaxGroupSize  int
 }
 
 // DBServer is a database process on a cloud instance.
@@ -100,9 +126,25 @@ type DBServer struct {
 	// the SQL thread never starves behind client reads (an operator
 	// mitigation for the staleness blow-up; ablation A-PRIO).
 	PriorityApply bool
+	// GroupCommitWindow enables binlog group commit: an autocommit write
+	// finishing its execution waits up to this long for concurrent writes
+	// to pile on, then the whole group pays one CommitFsync of serialized
+	// binlog-disk time instead of one per statement. Zero (the default)
+	// keeps the legacy per-commit fsync-as-CPU costing. Statements inside
+	// explicit transactions always take the legacy path — their commit
+	// point is the COMMIT statement, not the write itself.
+	GroupCommitWindow time.Duration
 
 	env   *sim.Env
 	stats Stats
+
+	// Group-commit state: one open group at a time; a new leader may open
+	// the next group while the previous one is still in its fsync, with
+	// binlogDisk serializing the actual fsyncs.
+	gcSig      *sim.Signal
+	gcOpen     bool
+	gcSize     int
+	binlogDisk *sim.Resource
 }
 
 // New creates a database server on inst with statement-based logging. Time
@@ -165,8 +207,51 @@ func (s *DBServer) Exec(p *sim.Proc, sess *sqlengine.Session, sql string, args .
 	case sqlengine.ClassDDL:
 		s.stats.DDL++
 	}
-	s.Inst.Work(p, s.Cost.StatementCost(res.Stats, false))
+	cost := s.Cost.StatementCost(res.Stats, false)
+	if s.GroupCommitWindow > 0 && res.Stats.Class == sqlengine.ClassWrite && !sess.InTxn() {
+		fsync := s.Cost.CommitFsync
+		if fsync > cost {
+			fsync = cost
+		}
+		s.Inst.Work(p, cost-fsync) // execution minus the fsync share
+		s.groupCommit(p)
+		return res, nil
+	}
+	s.Inst.Work(p, cost)
 	return res, nil
+}
+
+// groupCommit makes the calling write part of a binlog commit group: the
+// first arrival leads — it holds the group open for GroupCommitWindow, then
+// pays one CommitFsync of binlog-disk time for everyone — and later
+// arrivals ride along, waking when the group's fsync completes.
+func (s *DBServer) groupCommit(p *sim.Proc) {
+	s.stats.GroupedWrites++
+	if s.gcOpen {
+		s.gcSize++
+		if s.gcSize > s.stats.MaxGroupSize {
+			s.stats.MaxGroupSize = s.gcSize
+		}
+		s.gcSig.Wait(p)
+		return
+	}
+	if s.binlogDisk == nil {
+		s.binlogDisk = sim.NewResource(s.env, s.Name+"/binlog-disk", 1)
+	}
+	s.gcOpen = true
+	s.gcSize = 1
+	s.gcSig = sim.NewSignal(s.env)
+	if s.stats.MaxGroupSize < 1 {
+		s.stats.MaxGroupSize = 1
+	}
+	p.Sleep(s.GroupCommitWindow)
+	// Close the group before fsyncing so commits arriving during the fsync
+	// form the next group instead of joining one whose write is in flight.
+	sig := s.gcSig
+	s.gcOpen = false
+	s.stats.GroupCommits++
+	s.binlogDisk.Use(p, s.Cost.CommitFsync)
+	sig.Broadcast()
 }
 
 // ExecFree executes a statement without charging CPU — used by loaders that
@@ -206,6 +291,14 @@ func (s *DBServer) DumpWork(p *sim.Proc) {
 	s.Inst.Work(p, s.Cost.DumpPerEvent)
 }
 
+// DumpBatchWork charges the master CPU for shipping a batch of n binlog
+// events in one network transit: the first event pays the full per-event
+// cost (connection handling, packet assembly), each additional one only the
+// batched marginal cost. n=1 is cost-identical to DumpWork.
+func (s *DBServer) DumpBatchWork(p *sim.Proc, n int) {
+	s.Inst.Work(p, batchCost(s.Cost.DumpPerEvent, s.Cost.DumpPerEntryBatched, n))
+}
+
 // RelayWork charges the slave CPU for persisting one event to its relay
 // log. PriorityApply covers the whole replication pipeline, so the I/O
 // thread is prioritized together with the SQL thread.
@@ -215,4 +308,27 @@ func (s *DBServer) RelayWork(p *sim.Proc) {
 		return
 	}
 	s.Inst.Work(p, s.Cost.RelayPerEvent)
+}
+
+// RelayBatchWork is DumpBatchWork's slave-side counterpart: one relay-log
+// write for the whole received batch.
+func (s *DBServer) RelayBatchWork(p *sim.Proc, n int) {
+	cost := batchCost(s.Cost.RelayPerEvent, s.Cost.RelayPerEntryBatched, n)
+	if s.PriorityApply {
+		s.Inst.WorkHigh(p, cost)
+		return
+	}
+	s.Inst.Work(p, cost)
+}
+
+// batchCost is first + (n-1)×marginal; a zero marginal cost (custom cost
+// models predating batching) falls back to the full per-event cost.
+func batchCost(first, marginal time.Duration, n int) time.Duration {
+	if n <= 1 {
+		return first
+	}
+	if marginal <= 0 {
+		marginal = first
+	}
+	return first + time.Duration(n-1)*marginal
 }

@@ -275,3 +275,147 @@ func TestStatsCounters(t *testing.T) {
 		t.Fatalf("stats: %+v", st)
 	}
 }
+
+// With group commit enabled, N concurrent autocommit writes must form few
+// fsync groups and finish sooner than N serialized legacy commits, because
+// the fsync share of WriteBase is paid per group instead of per statement.
+func TestGroupCommitAmortizesFsync(t *testing.T) {
+	const writers = 4
+	run := func(window time.Duration) (sim.Time, Stats) {
+		env, srv := newTestServer(t, 1)
+		srv.GroupCommitWindow = window
+		var last sim.Time
+		for i := 0; i < writers; i++ {
+			i := i
+			sess := srv.Session("app")
+			env.Go("w", func(p *sim.Proc) {
+				if _, err := srv.Exec(p, sess, "INSERT INTO t (id, v) VALUES (?, 'x')", sqlengine.NewInt(int64(i))); err != nil {
+					t.Errorf("exec: %v", err)
+				}
+				if p.Now() > last {
+					last = p.Now()
+				}
+			})
+		}
+		env.Run()
+		return last, srv.Stats()
+	}
+
+	legacy, legacyStats := run(0)
+	// The 1-vCPU FIFO spaces write completions by their ~54ms CPU cost, so
+	// the window must exceed that for successive commits to pile onto an
+	// open group.
+	grouped, stats := run(60 * time.Millisecond)
+
+	if legacyStats.GroupCommits != 0 || legacyStats.GroupedWrites != 0 {
+		t.Fatalf("legacy path recorded groups: %+v", legacyStats)
+	}
+	if stats.GroupedWrites != writers {
+		t.Fatalf("GroupedWrites = %d, want %d", stats.GroupedWrites, writers)
+	}
+	if stats.GroupCommits >= writers {
+		t.Fatalf("GroupCommits = %d: no amortization over %d writes", stats.GroupCommits, writers)
+	}
+	if grouped >= legacy {
+		t.Fatalf("group commit did not help: %v grouped vs %v legacy", grouped, legacy)
+	}
+	if srvLog := stats.Writes; srvLog != writers {
+		t.Fatalf("writes = %d, want %d", srvLog, writers)
+	}
+}
+
+// A single write under group commit pays window + full write cost — it must
+// not lose the fsync entirely, only defer it to the group.
+func TestGroupCommitSingleWriteStillFsyncs(t *testing.T) {
+	env, srv := newTestServer(t, 1)
+	srv.GroupCommitWindow = 5 * time.Millisecond
+	sess := srv.Session("app")
+	var elapsed sim.Time
+	env.Go("w", func(p *sim.Proc) {
+		if _, err := srv.Exec(p, sess, "INSERT INTO t (id, v) VALUES (1, 'x')"); err != nil {
+			t.Errorf("exec: %v", err)
+		}
+		elapsed = p.Now()
+	})
+	env.Run()
+	cost := srv.Cost.StatementCost(sqlengine.ExecStats{Class: sqlengine.ClassWrite, RowsAffected: 1}, false)
+	want := cost + srv.GroupCommitWindow // CPU (cost−fsync) + window + fsync disk
+	if elapsed != want {
+		t.Fatalf("single grouped write took %v, want %v", elapsed, want)
+	}
+	if st := srv.Stats(); st.GroupCommits != 1 || st.GroupedWrites != 1 || st.MaxGroupSize != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+// Statements inside an explicit transaction must bypass the group-commit
+// path: their commit point is COMMIT, not the statement.
+func TestGroupCommitSkipsExplicitTransactions(t *testing.T) {
+	env, srv := newTestServer(t, 1)
+	srv.GroupCommitWindow = 5 * time.Millisecond
+	sess := srv.Session("app")
+	env.Go("w", func(p *sim.Proc) {
+		for _, sql := range []string{
+			"BEGIN",
+			"INSERT INTO t (id, v) VALUES (1, 'x')",
+			"COMMIT",
+		} {
+			if _, err := srv.Exec(p, sess, sql); err != nil {
+				t.Errorf("%s: %v", sql, err)
+			}
+		}
+	})
+	env.Run()
+	if st := srv.Stats(); st.GroupCommits != 0 || st.GroupedWrites != 0 {
+		t.Fatalf("transactional write went through group commit: %+v", st)
+	}
+}
+
+// A batch of one must cost exactly the same as the per-event path, so an
+// unconfigured pipeline cannot change baseline timing.
+func TestBatchWorkOfOneMatchesPerEvent(t *testing.T) {
+	env, srv := newTestServer(t, 1)
+	var tDump, tBatch, tRelay, tRelayBatch sim.Time
+	env.Go("seq", func(p *sim.Proc) {
+		start := p.Now()
+		srv.DumpWork(p)
+		tDump = p.Now() - start
+		start = p.Now()
+		srv.DumpBatchWork(p, 1)
+		tBatch = p.Now() - start
+		start = p.Now()
+		srv.RelayWork(p)
+		tRelay = p.Now() - start
+		start = p.Now()
+		srv.RelayBatchWork(p, 1)
+		tRelayBatch = p.Now() - start
+	})
+	env.Run()
+	if tDump != tBatch {
+		t.Fatalf("DumpBatchWork(1) = %v, DumpWork = %v", tBatch, tDump)
+	}
+	if tRelay != tRelayBatch {
+		t.Fatalf("RelayBatchWork(1) = %v, RelayWork = %v", tRelayBatch, tRelay)
+	}
+}
+
+// Batched shipping must be cheaper than per-event shipping for n>1.
+func TestBatchWorkAmortizes(t *testing.T) {
+	env, srv := newTestServer(t, 1)
+	const n = 32
+	var tBatch, tSingles sim.Time
+	env.Go("seq", func(p *sim.Proc) {
+		start := p.Now()
+		srv.DumpBatchWork(p, n)
+		tBatch = p.Now() - start
+		start = p.Now()
+		for i := 0; i < n; i++ {
+			srv.DumpWork(p)
+		}
+		tSingles = p.Now() - start
+	})
+	env.Run()
+	if tBatch >= tSingles/4 {
+		t.Fatalf("batched dump of %d = %v, singles = %v: expected ≥4× amortization", n, tBatch, tSingles)
+	}
+}

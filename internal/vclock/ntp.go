@@ -50,6 +50,11 @@ func SyncOnce(env *sim.Env, clock *Clock, cfg NTPConfig) {
 func StartDaemon(env *sim.Env, name string, clock *Clock, cfg NTPConfig) *Daemon {
 	d := &Daemon{clock: clock, cfg: cfg}
 	env.Go(name, func(p *sim.Proc) {
+		// Stop() may run before the daemon process is first scheduled; the
+		// initial sync must not fire on a stopped daemon.
+		if d.stop {
+			return
+		}
 		d.correct(env)
 		if cfg.Interval <= 0 {
 			return

@@ -198,3 +198,44 @@ func absDur(d time.Duration) time.Duration {
 	}
 	return d
 }
+
+// Stop() before the daemon process first runs must suppress even the
+// initial sync — a regression test for the stopped-daemon queued-sync bug.
+func TestDaemonStopBeforeFirstRun(t *testing.T) {
+	env := sim.NewEnv(1)
+	c := New(env, Config{InitialOffset: 500 * time.Millisecond})
+	d := StartDaemon(env, "ntp", c, NTPConfig{Interval: time.Second, Bias: 2 * time.Millisecond})
+	d.Stop() // before env ever runs the daemon process
+	env.RunUntil(5 * time.Second)
+	if d.Syncs() != 0 {
+		t.Fatalf("stopped daemon fired %d sync(s)", d.Syncs())
+	}
+	if got := c.Offset(); got != 500*time.Millisecond {
+		t.Fatalf("stopped daemon disciplined the clock: offset = %v", got)
+	}
+	if env.Alive() != 0 {
+		t.Fatalf("daemon still alive after Stop, alive=%d", env.Alive())
+	}
+	env.Shutdown()
+}
+
+// Servers: 0 must fall back to a single server, not divide by zero in the
+// 1/√Servers jitter scaling.
+func TestZeroServersJitterScaling(t *testing.T) {
+	env := sim.NewEnv(1)
+	c := New(env, Config{})
+	SyncOnce(env, c, NTPConfig{Bias: time.Millisecond, JitterSigma: 600 * time.Microsecond, Servers: 0})
+	got := c.Offset()
+	if got == 0 || absDur(got) > 100*time.Millisecond {
+		t.Fatalf("offset with Servers=0 = %v, want finite bias+jitter", got)
+	}
+	// The daemon path takes the same guard.
+	d := StartDaemon(env, "ntp", c, NTPConfig{Interval: time.Second, JitterSigma: time.Millisecond, Servers: 0})
+	env.RunUntil(2500 * time.Millisecond)
+	d.Stop()
+	env.Run()
+	if d.Syncs() != 3 {
+		t.Fatalf("syncs = %d, want 3", d.Syncs())
+	}
+	env.Shutdown()
+}
