@@ -1,14 +1,26 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-smoke fuzz-seed figures examples vet fmt clean check
+.PHONY: all build test race bench bench-smoke determinism-smoke fuzz-seed figures examples vet fmt fmt-check lint clean check
 
-all: build vet test
+all: build vet lint test
 
 # The CI gate (.github/workflows/ci.yml runs exactly this).
 check:
 	$(GO) build ./...
 	$(GO) vet ./...
+	$(MAKE) lint
 	$(GO) test -race ./...
+
+# Determinism linters (simtime, simrand, rawgo, maporder, closecheck) plus
+# the gofmt cleanliness gate. cloudrepl-lint is the repo's own multichecker
+# (cmd/cloudrepl-lint); suppressions are //cloudrepl:allow-<analyzer> <reason>
+# comments and stale ones fail the lint.
+lint: fmt-check
+	$(GO) run ./cmd/cloudrepl-lint ./...
+
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 build:
 	$(GO) build ./...
@@ -35,6 +47,14 @@ bench:
 bench-smoke:
 	$(GO) run ./cmd/cloudrepl-bench -ablation elastic -short -q -json results
 	$(GO) run ./cmd/cloudrepl-bench -ablation pipeline -short -q -json results
+
+# Determinism sanitizer: the A-PIPELINE corner grid twice with one seed,
+# byte-comparing the JSON; then the inject self-test, which must fail.
+determinism-smoke:
+	$(GO) run ./cmd/cloudrepl-bench -determinism -short -q
+	@if $(GO) run ./cmd/cloudrepl-bench -determinism-inject -short -q >/dev/null 2>&1; then \
+		echo "determinism-inject self-test did NOT fail"; exit 1; \
+	else echo "determinism-inject self-test failed as it must"; fi
 
 # One pass over the checked-in binlog fuzz corpus (no new input generation:
 # every testdata/fuzz seed must keep passing).

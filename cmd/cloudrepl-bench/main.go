@@ -31,6 +31,8 @@ func main() {
 	figs := flag.String("fig", "", "comma-separated figures to regenerate (2,3,4,5,6)")
 	rtt := flag.Bool("rtt", false, "measure the half-RTT table (T-RTT)")
 	ablations := flag.String("ablation", "", "comma-separated ablations (sync,lb,var,prio,arch,chaos,elastic,pipeline)")
+	determinism := flag.Bool("determinism", false, "run the A-PIPELINE determinism sanitizer: the same seed twice, failing on any byte difference in the result JSON (with -short: corner grid + quick protocol)")
+	determinismInject := flag.Bool("determinism-inject", false, "deliberately salt the determinism check with global math/rand entropy; the check must then fail (self-test of the sanitizer)")
 	all := flag.Bool("all", false, "regenerate every figure, table and ablation")
 	short := flag.Bool("short", false, "use the 2/5/1-minute quick protocol instead of 10/20/5")
 	seed := flag.Int64("seed", 1, "base random seed")
@@ -59,14 +61,24 @@ func main() {
 			want[k] = true
 		}
 	}
-	if len(want) == 0 {
-		flag.Usage()
-		os.Exit(2)
-	}
-
 	opts := experiment.SweepOpts{Short: *short, Parallelism: *par, Seed: *seed}
 	if !*quiet {
 		opts.Progress = func(s string) { fmt.Fprintln(os.Stderr, s) }
+	}
+
+	if *determinism || *determinismInject {
+		experiment.InjectNondeterminism = *determinismInject
+		banner("determinism sanitizer: A-PIPELINE twice with one seed, byte-compared JSON")
+		if err := experiment.PipelineDeterminism(opts, *short); err != nil {
+			fatal(err)
+		}
+		fmt.Println("determinism check passed: both runs produced byte-identical JSON")
+		return
+	}
+
+	if len(want) == 0 {
+		flag.Usage()
+		os.Exit(2)
 	}
 
 	writeCSV := func(name, content string) {
@@ -93,7 +105,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "wrote %s\n", filepath.Join(*jsonDir, "BENCH_"+name+".json"))
 	}
 
-	start := time.Now()
+	start := time.Now() //cloudrepl:allow-simtime the CLI reports real elapsed wall time, not simulated time
 
 	if want["fig2"] || want["fig5"] {
 		sw := experiment.Fig2Sweep(opts)
@@ -229,6 +241,7 @@ func main() {
 		writeJSON("elastic", experiment.ElasticJSON(r))
 	}
 
+	//cloudrepl:allow-simtime the CLI reports real elapsed wall time, not simulated time
 	fmt.Fprintf(os.Stderr, "total wall time: %v\n", time.Since(start).Round(time.Second))
 }
 

@@ -1,0 +1,118 @@
+// Command cloudrepl-lint is the repo's determinism multichecker: it runs
+// the internal/analysis suite (simtime, simrand, rawgo, maporder,
+// closecheck) over module packages and exits non-zero on any unannotated
+// violation.
+//
+//	cloudrepl-lint ./...                   # whole repo (what `make lint` runs)
+//	cloudrepl-lint ./internal/repl         # one package
+//	cloudrepl-lint -list                   # describe the analyzers
+//
+// The container this repo builds in has no module proxy, so the tool
+// re-implements the go/analysis driver on the standard library instead of
+// plugging into `go vet -vettool`; diagnostics use the same
+// file:line:col format, and the escape hatch is a
+// `//cloudrepl:allow-<analyzer> <reason>` comment (see DESIGN.md,
+// "Determinism contract").
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cloudrepl/internal/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "describe the analyzers and exit")
+	only := flag.String("only", "", "comma-separated subset of analyzers to run")
+	flag.Parse()
+
+	analyzers := analysis.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *only != "" {
+		keep := map[string]bool{}
+		for _, name := range splitComma(*only) {
+			keep[name] = true
+		}
+		var sel []*analysis.Analyzer
+		for _, a := range analyzers {
+			if keep[a.Name] {
+				sel = append(sel, a)
+			}
+		}
+		if len(sel) == 0 {
+			fmt.Fprintf(os.Stderr, "cloudrepl-lint: -only %q matches no analyzer\n", *only)
+			os.Exit(2)
+		}
+		analyzers = sel
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	moduleDir, err := findModuleRoot()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cloudrepl-lint:", err)
+		os.Exit(2)
+	}
+	diags, err := analysis.Lint(moduleDir, analyzers, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cloudrepl-lint:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "cloudrepl-lint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+func splitComma(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ',' {
+			if i > start {
+				out = append(out, s[start:i])
+			}
+			start = i + 1
+		}
+	}
+	return out
+}
+
+// findModuleRoot walks up from the working directory to the go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(dir + "/go.mod"); err == nil {
+			return dir, nil
+		}
+		parent := dirAbove(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+func dirAbove(dir string) string {
+	for i := len(dir) - 1; i > 0; i-- {
+		if dir[i] == '/' {
+			return dir[:i]
+		}
+	}
+	return dir
+}

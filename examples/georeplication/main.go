@@ -76,8 +76,10 @@ func main() {
 			w := w
 			p.Env().Go(fmt.Sprintf("writer%d", w), func(wp *sim.Proc) {
 				for i := 0; wp.Now() < loadFrom+4*time.Minute; i++ {
-					db.Exec(wp, "INSERT INTO attendance (id, event_id, user_id, created) VALUES (?, 1, 1, UTC_MICROS())",
-						sqlengine.NewInt(int64(2_000_000+w*100_000+i)))
+					if _, err := db.Exec(wp, "INSERT INTO attendance (id, event_id, user_id, created) VALUES (?, 1, 1, UTC_MICROS())",
+						sqlengine.NewInt(int64(2_000_000+w*100_000+i))); err != nil {
+						log.Fatal(err)
+					}
 					wp.Sleep(sim.Exp(wp.Rand(), 1500*time.Millisecond))
 				}
 			})

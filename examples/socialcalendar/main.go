@@ -45,6 +45,16 @@ func buildTier(env *sim.Env, balancer proxy.Balancer) *core.DB {
 	return buildTierOpts(env, core.Options{Balancer: balancer})
 }
 
+// bgWrite issues one background-load insert. No fault injection runs in
+// this example, so a failed write is a bug worth stopping on, not noise.
+func bgWrite(p *sim.Proc, db *core.DB, id int64) {
+	if _, err := db.Exec(p,
+		"INSERT INTO comments (id, event_id, user_id, body, created) VALUES (?, 1, 1, 'bg', UTC_MICROS())",
+		sqlengine.NewInt(id)); err != nil {
+		log.Fatal(err)
+	}
+}
+
 // createAndCheck creates an event and immediately loads the creator's
 // event list (as a web app would after a redirect). It reports whether the
 // fresh event was visible on the read path.
@@ -72,8 +82,7 @@ func main() {
 		w := w
 		env.Go(fmt.Sprintf("writer%d", w), func(p *sim.Proc) {
 			for i := 0; p.Now() < 2*time.Minute; i++ {
-				db.Exec(p, "INSERT INTO comments (id, event_id, user_id, body, created) VALUES (?, 1, 1, 'bg', UTC_MICROS())",
-					sqlengine.NewInt(int64(5_000_000+w*100_000+i)))
+				bgWrite(p, db, int64(5_000_000+w*100_000+i))
 				p.Sleep(200 * time.Millisecond)
 			}
 		})
@@ -103,8 +112,7 @@ func main() {
 		w := w
 		env2.Go(fmt.Sprintf("writer%d", w), func(p *sim.Proc) {
 			for i := 0; p.Now() < 2*time.Minute; i++ {
-				db2.Exec(p, "INSERT INTO comments (id, event_id, user_id, body, created) VALUES (?, 1, 1, 'bg', UTC_MICROS())",
-					sqlengine.NewInt(int64(5_000_000+w*100_000+i)))
+				bgWrite(p, db2, int64(5_000_000+w*100_000+i))
 				p.Sleep(200 * time.Millisecond)
 			}
 		})
@@ -134,8 +142,7 @@ func main() {
 		w := w
 		env4.Go(fmt.Sprintf("writer%d", w), func(p *sim.Proc) {
 			for i := 0; p.Now() < 2*time.Minute; i++ {
-				db4.Exec(p, "INSERT INTO comments (id, event_id, user_id, body, created) VALUES (?, 1, 1, 'bg', UTC_MICROS())",
-					sqlengine.NewInt(int64(5_000_000+w*100_000+i)))
+				bgWrite(p, db4, int64(5_000_000+w*100_000+i))
 				p.Sleep(200 * time.Millisecond)
 			}
 		})

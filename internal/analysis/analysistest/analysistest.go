@@ -1,0 +1,131 @@
+// Package analysistest runs an analyzer over a want-comment fixture
+// package, mirroring golang.org/x/tools/go/analysis/analysistest on the
+// in-repo framework. A fixture file marks each expected diagnostic with a
+// trailing comment:
+//
+//	time.Sleep(d) // want `wall-clock call time\.Sleep`
+//
+// The backquoted (or double-quoted) pattern is a regexp that must match a
+// diagnostic reported on that line; unexpected diagnostics and unmatched
+// wants both fail the test. Allow directives are honored exactly as in the
+// cloudrepl-lint driver, so fixtures also prove the escape hatch works.
+package analysistest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"cloudrepl/internal/analysis"
+)
+
+// Run loads the fixture package at dir (conventionally
+// "testdata/src/<name>", relative to the test's working directory), applies
+// the analyzer with directive suppression, and checks the diagnostics
+// against the fixture's want comments.
+func Run(t *testing.T, dir string, a *analysis.Analyzer) {
+	t.Helper()
+	absDir, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatalf("abs %s: %v", dir, err)
+	}
+	moduleDir := absDir
+	for {
+		if _, err := os.Stat(filepath.Join(moduleDir, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(moduleDir)
+		if parent == moduleDir {
+			t.Fatalf("no go.mod above %s", absDir)
+		}
+		moduleDir = parent
+	}
+	rel, err := filepath.Rel(moduleDir, absDir)
+	if err != nil {
+		t.Fatalf("rel: %v", err)
+	}
+	l, err := analysis.NewLoader(moduleDir)
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	pkgs, err := l.Load(rel)
+	if err != nil {
+		t.Fatalf("load %s: %v", dir, err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("load %s: got %d packages, want 1", dir, len(pkgs))
+	}
+	pkg := pkgs[0]
+
+	diags, err := analysis.Run(pkg, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("run %s on %s: %v", a.Name, dir, err)
+	}
+	dirs, bad := analysis.ParseDirectives(pkg, analysis.KnownNames())
+	for _, d := range bad {
+		t.Errorf("fixture %s: malformed directive: %s", dir, d)
+	}
+	diags = analysis.Suppress(diags, dirs)
+
+	wants := collectWants(t, pkg)
+	matched := make([]bool, len(wants))
+	for _, d := range diags {
+		ok := false
+		for i, w := range wants {
+			if matched[i] || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				matched[i] = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for i, w := range wants {
+		if !matched[i] {
+			t.Errorf("%s:%d: no diagnostic matched want %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+var wantRe = regexp.MustCompile("// want (`[^`]*`|\"[^\"]*\")")
+
+func collectWants(t *testing.T, pkg *analysis.Package) []want {
+	t.Helper()
+	var wants []want
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				for _, m := range wantRe.FindAllStringSubmatch(c.Text, -1) {
+					pat := strings.Trim(m[1], "`\"")
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						pos := pkg.Fset.Position(c.Pos())
+						t.Fatalf("%s: bad want pattern %q: %v", pos, pat, err)
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					wants = append(wants, want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// FixturePath builds the conventional fixture path for name.
+func FixturePath(name string) string {
+	return fmt.Sprintf("testdata/src/%s", name)
+}

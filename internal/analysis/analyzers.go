@@ -1,0 +1,58 @@
+package analysis
+
+// All returns the full determinism-linter suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{SimTime, SimRand, RawGo, MapOrder, CloseCheck}
+}
+
+// KnownNames maps analyzer name -> true for directive validation.
+func KnownNames() map[string]bool {
+	m := map[string]bool{}
+	for _, a := range All() {
+		m[a.Name] = true
+	}
+	return m
+}
+
+// Lint loads the given patterns from moduleDir, runs every analyzer with
+// allow-directive suppression and stale-directive detection, and returns
+// the surviving diagnostics sorted by position. This is the whole
+// cloudrepl-lint pipeline behind a function so tests can drive it.
+func Lint(moduleDir string, analyzers []*Analyzer, patterns ...string) ([]Diagnostic, error) {
+	l, err := NewLoader(moduleDir)
+	if err != nil {
+		return nil, err
+	}
+	pkgs, err := l.Load(patterns...)
+	if err != nil {
+		return nil, err
+	}
+	known := KnownNames()
+	running := map[string]bool{}
+	for _, a := range analyzers {
+		running[a.Name] = true
+	}
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		diags, err := Run(pkg, analyzers)
+		if err != nil {
+			return nil, err
+		}
+		dirs, bad := ParseDirectives(pkg, known)
+		diags = Suppress(diags, dirs)
+		out = append(out, bad...)
+		out = append(out, diags...)
+		// Stale-check only directives for analyzers in this run: under
+		// -only, a directive for an excluded analyzer has nothing it could
+		// legitimately suppress, so it must not be reported stale.
+		var ran []*Directive
+		for _, d := range dirs {
+			if running[d.Analyzer] {
+				ran = append(ran, d)
+			}
+		}
+		out = append(out, StaleDirectives(ran)...)
+	}
+	sortDiagnostics(out)
+	return out, nil
+}

@@ -1,0 +1,147 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// mustConsumeMethods name the simulator-resource accessors whose results
+// must not be dropped: a Borrow whose connection is discarded leaks a pool
+// slot until eviction, and a Get/TryGet/Peek whose value is discarded
+// silently loses a replication message.
+var mustConsumeMethods = map[string]bool{
+	"Borrow": true,
+	"Get":    true,
+	"TryGet": true,
+	"Peek":   true,
+}
+
+// droppedErrorExempt lists error-returning calls whose drop is idiomatic
+// and harmless: the fmt printers (their error is the terminal's problem)
+// and the infallible strings.Builder / bytes.Buffer writers.
+func droppedErrorExempt(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj := pass.ObjectOf(sel.Sel)
+	if obj == nil {
+		return false
+	}
+	if pkg := obj.Pkg(); pkg != nil && pkg.Path() == "fmt" {
+		switch obj.Name() {
+		case "Print", "Printf", "Println", "Fprint", "Fprintf", "Fprintln":
+			return true
+		}
+	}
+	if fn, ok := obj.(*types.Func); ok {
+		if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+			t := recv.Type()
+			if ptr, ok := t.(*types.Pointer); ok {
+				t = ptr.Elem()
+			}
+			if named, ok := t.(*types.Named); ok && named.Obj().Pkg() != nil {
+				switch named.Obj().Pkg().Path() + "." + named.Obj().Name() {
+				case "strings.Builder", "bytes.Buffer":
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// CloseCheck flags calls whose results are silently dropped in statement
+// position: any call returning an error (a failed Exec/Close/Scale that
+// nobody observes), and resource accessors (Borrow/Get/TryGet/Peek) whose
+// dropped return value leaks capacity or loses a message. An explicit
+// `_ = f()` discard is allowed — it is visible and greppable — as are
+// deferred calls, the fmt printers and infallible Builder/Buffer writes.
+var CloseCheck = &Analyzer{
+	Name: "closecheck",
+	Doc: "flag dropped error results and discarded sim-resource handles " +
+		"(Borrow/Get/TryGet/Peek) that would silently leak capacity",
+	Run: runCloseCheck,
+}
+
+func runCloseCheck(pass *Pass) error {
+	pass.Inspect(func(n ast.Node) bool {
+		stmt, ok := n.(*ast.ExprStmt)
+		if !ok {
+			return true
+		}
+		call, ok := stmt.X.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if callReturnsError(pass, call) && !droppedErrorExempt(pass, call) {
+			pass.Reportf(call.Pos(), "result of %s dropped: the error is silently ignored; handle it or discard explicitly with _ =", calleeName(call))
+			return true
+		}
+		if name, ok := calleeMethodName(call); ok && mustConsumeMethods[name] && callHasResults(pass, call) {
+			pass.Reportf(call.Pos(), "result of %s dropped: the returned resource/message is lost, leaking capacity; consume it or discard explicitly with _ =", calleeName(call))
+		}
+		return true
+	})
+	return nil
+}
+
+// callReturnsError reports whether any result of the call has type error.
+func callReturnsError(pass *Pass, call *ast.CallExpr) bool {
+	t := pass.TypeOf(call)
+	switch t := t.(type) {
+	case nil:
+		return false
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	default:
+		return isErrorType(t)
+	}
+}
+
+func callHasResults(pass *Pass, call *ast.CallExpr) bool {
+	switch t := pass.TypeOf(call).(type) {
+	case nil:
+		return false
+	case *types.Tuple:
+		return t.Len() > 0
+	default:
+		return true
+	}
+}
+
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "error" && obj.Pkg() == nil
+}
+
+func calleeMethodName(call *ast.CallExpr) (string, bool) {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		return sel.Sel.Name, true
+	}
+	return "", false
+}
+
+func calleeName(call *ast.CallExpr) string {
+	switch f := call.Fun.(type) {
+	case *ast.Ident:
+		return f.Name
+	case *ast.SelectorExpr:
+		if id, ok := f.X.(*ast.Ident); ok {
+			return id.Name + "." + f.Sel.Name
+		}
+		return f.Sel.Name
+	case *ast.IndexExpr:
+		return calleeName(&ast.CallExpr{Fun: f.X})
+	}
+	return "call"
+}

@@ -1,0 +1,139 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// directivePrefix introduces an allow comment. The full syntax is
+//
+//	//cloudrepl:allow-<analyzer> <reason>
+//
+// where <analyzer> names one of the registered linters (simtime, simrand,
+// rawgo, maporder, closecheck) and <reason> is a mandatory free-text
+// justification. A directive written as a declaration's doc comment covers
+// the entire declaration; anywhere else it covers its own line and the
+// line immediately below (so it can trail a statement or sit above one).
+const directivePrefix = "//cloudrepl:allow-"
+
+// Directive is one parsed allow comment.
+type Directive struct {
+	Analyzer string
+	Reason   string
+	Pos      token.Position
+	// File-scoped line range the directive suppresses, inclusive.
+	FromLine, ToLine int
+	// Used is set when the directive suppressed at least one diagnostic;
+	// the driver reports stale (never-used) directives.
+	Used bool
+}
+
+// ParseDirectives extracts every allow directive from the package, computing
+// the line span each one covers. Malformed directives (unknown analyzer,
+// missing reason) are returned as diagnostics so that "zero unannotated
+// violations" cannot be reached by typo.
+func ParseDirectives(pkg *Package, known map[string]bool) ([]*Directive, []Diagnostic) {
+	var dirs []*Directive
+	var bad []Diagnostic
+	for _, file := range pkg.Files {
+		// Map each doc comment to the line span of its declaration so a
+		// directive in a func's doc comment covers the whole body.
+		declSpan := map[*ast.CommentGroup][2]int{}
+		for _, decl := range file.Decls {
+			var doc *ast.CommentGroup
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				doc = d.Doc
+			case *ast.GenDecl:
+				doc = d.Doc
+			}
+			if doc != nil {
+				declSpan[doc] = [2]int{
+					pkg.Fset.Position(decl.Pos()).Line,
+					pkg.Fset.Position(decl.End()).Line,
+				}
+			}
+		}
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, directivePrefix) {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				rest := strings.TrimPrefix(c.Text, directivePrefix)
+				name, reason, _ := strings.Cut(rest, " ")
+				reason = strings.TrimSpace(reason)
+				if !known[name] {
+					bad = append(bad, Diagnostic{
+						Analyzer: "directive",
+						Pos:      pos,
+						Message:  fmt.Sprintf("unknown allow directive %q (known: simtime, simrand, rawgo, maporder, closecheck)", name),
+					})
+					continue
+				}
+				if reason == "" {
+					bad = append(bad, Diagnostic{
+						Analyzer: "directive",
+						Pos:      pos,
+						Message:  fmt.Sprintf("allow-%s directive needs a justification: //cloudrepl:allow-%s <reason>", name, name),
+					})
+					continue
+				}
+				d := &Directive{Analyzer: name, Reason: reason, Pos: pos}
+				if span, ok := declSpan[cg]; ok {
+					d.FromLine, d.ToLine = span[0], span[1]
+					// The doc comment itself is above the decl; include it
+					// so a directive line never looks out of range.
+					if pos.Line < d.FromLine {
+						d.FromLine = pos.Line
+					}
+				} else {
+					d.FromLine, d.ToLine = pos.Line, pos.Line+1
+				}
+				dirs = append(dirs, d)
+			}
+		}
+	}
+	return dirs, bad
+}
+
+// Suppress filters diags through the directives: a diagnostic is dropped
+// when a directive for the same analyzer covers its line in the same file.
+// Matched directives are marked Used.
+func Suppress(diags []Diagnostic, dirs []*Directive) []Diagnostic {
+	var kept []Diagnostic
+	for _, d := range diags {
+		suppressed := false
+		for _, dir := range dirs {
+			if dir.Analyzer == d.Analyzer &&
+				dir.Pos.Filename == d.Pos.Filename &&
+				d.Pos.Line >= dir.FromLine && d.Pos.Line <= dir.ToLine {
+				dir.Used = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			kept = append(kept, d)
+		}
+	}
+	return kept
+}
+
+// StaleDirectives returns a diagnostic for every directive that suppressed
+// nothing — stale annotations rot into blanket exemptions, so they fail the
+// lint like any other finding.
+func StaleDirectives(dirs []*Directive) []Diagnostic {
+	var out []Diagnostic
+	for _, dir := range dirs {
+		if !dir.Used {
+			out = append(out, Diagnostic{
+				Analyzer: "directive",
+				Pos:      dir.Pos,
+				Message:  fmt.Sprintf("stale allow-%s directive: nothing on lines %d-%d triggers it", dir.Analyzer, dir.FromLine, dir.ToLine),
+			})
+		}
+	}
+	return out
+}

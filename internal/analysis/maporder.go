@@ -1,0 +1,147 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapOrder flags `range` over a map unless the loop body is a pure,
+// order-insensitive collection. Go randomizes map iteration order per run,
+// so any map range whose body ordering can leak — into scheduling, slave
+// selection, emitted rows, float accumulation — makes results depend on the
+// runtime's hash seed instead of the experiment seed.
+//
+// A body is considered order-insensitive when every statement is one of:
+// append into a slice (collect-then-sort idiom), a map/set insert, an
+// integer counter update (integer + is commutative; float + is not),
+// delete, or an if/continue wrapping only such statements. Anything else —
+// I/O, sends, scheduling calls, float math, early return — is flagged and
+// needs a sort first or a //cloudrepl:allow-maporder justification.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc: "flag range over a map whose iteration order can leak into scheduling or " +
+		"results; iterate a sorted slice of keys instead",
+	Run: runMapOrder,
+}
+
+func runMapOrder(pass *Pass) error {
+	pass.Inspect(func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := pass.TypeOf(rng.X)
+		if t == nil {
+			return true
+		}
+		if ptr, ok := t.Underlying().(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		if _, ok := t.Underlying().(*types.Map); !ok {
+			return true
+		}
+		if orderInsensitiveBlock(pass, rng.Body.List) {
+			return true
+		}
+		pass.Reportf(rng.Pos(), "range over map: iteration order is randomized per run and this body is not a pure collection; iterate sorted keys (or annotate //cloudrepl:allow-maporder <reason>)")
+		return true
+	})
+	return nil
+}
+
+func orderInsensitiveBlock(pass *Pass, stmts []ast.Stmt) bool {
+	for _, s := range stmts {
+		if !orderInsensitiveStmt(pass, s) {
+			return false
+		}
+	}
+	return true
+}
+
+func orderInsensitiveStmt(pass *Pass, s ast.Stmt) bool {
+	switch st := s.(type) {
+	case *ast.AssignStmt:
+		return orderInsensitiveAssign(pass, st)
+	case *ast.IncDecStmt:
+		return isIntegerExpr(pass, st.X)
+	case *ast.ExprStmt:
+		// delete(m, k) is the only call with an order-insensitive effect.
+		if call, ok := st.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "delete" && pass.ObjectOf(id) == nil {
+				return true
+			}
+			if id, ok := call.Fun.(*ast.Ident); ok {
+				if b, ok := pass.ObjectOf(id).(*types.Builtin); ok && b.Name() == "delete" {
+					return true
+				}
+			}
+		}
+		return false
+	case *ast.BranchStmt:
+		return st.Tok == token.CONTINUE
+	case *ast.IfStmt:
+		if st.Init != nil && !orderInsensitiveStmt(pass, st.Init) {
+			return false
+		}
+		if !orderInsensitiveBlock(pass, st.Body.List) {
+			return false
+		}
+		switch e := st.Else.(type) {
+		case nil:
+			return true
+		case *ast.BlockStmt:
+			return orderInsensitiveBlock(pass, e.List)
+		case *ast.IfStmt:
+			return orderInsensitiveStmt(pass, e)
+		}
+		return false
+	case *ast.DeclStmt:
+		return true // local declaration carries no ordering effect itself
+	case *ast.BlockStmt:
+		return orderInsensitiveBlock(pass, st.List)
+	}
+	return false
+}
+
+func orderInsensitiveAssign(pass *Pass, a *ast.AssignStmt) bool {
+	switch a.Tok {
+	case token.ASSIGN, token.DEFINE:
+		// s = append(s, ...) — the collect-then-sort idiom — and
+		// m[k] = v set/insert are both order-insensitive.
+		for i, rhs := range a.Rhs {
+			if call, ok := rhs.(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok {
+					if b, ok := pass.ObjectOf(id).(*types.Builtin); ok && b.Name() == "append" {
+						continue
+					}
+				}
+			}
+			if i < len(a.Lhs) {
+				if ix, ok := a.Lhs[i].(*ast.IndexExpr); ok {
+					if t := pass.TypeOf(ix.X); t != nil {
+						if _, isMap := t.Underlying().(*types.Map); isMap {
+							continue
+						}
+					}
+				}
+			}
+			return false
+		}
+		return true
+	case token.ADD_ASSIGN, token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN:
+		// Commutative-and-associative only over integers; float addition
+		// depends on evaluation order.
+		return len(a.Lhs) == 1 && isIntegerExpr(pass, a.Lhs[0])
+	}
+	return false
+}
+
+func isIntegerExpr(pass *Pass, e ast.Expr) bool {
+	t := pass.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}

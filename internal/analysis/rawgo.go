@@ -1,0 +1,39 @@
+package analysis
+
+import "go/ast"
+
+// rawGoExemptPkgs may use raw goroutines: the experiment harness fans
+// whole, self-contained simulations out across OS threads (each worker owns
+// a private Env, so nothing races the virtual clock), and the lint driver
+// itself is ordinary host tooling.
+var rawGoExemptPkgs = map[string]bool{
+	"cloudrepl/internal/experiment": true,
+	"cloudrepl/internal/analysis":   true,
+	"cloudrepl/cmd/cloudrepl-lint":  true,
+}
+
+// RawGo forbids `go` statements in sim-model code. A goroutine the
+// scheduler does not manage runs concurrently with the event loop, races
+// the virtual clock and re-introduces host-scheduling nondeterminism; model
+// concurrency must be spawned with sim.Env.Go so the kernel serializes it.
+// The kernel's own process launcher carries a //cloudrepl:allow-rawgo
+// annotation.
+var RawGo = &Analyzer{
+	Name: "rawgo",
+	Doc: "forbid raw `go` statements in sim-model packages; spawn processes with " +
+		"sim.Env.Go so the scheduler serializes them against the virtual clock",
+	Run: runRawGo,
+}
+
+func runRawGo(pass *Pass) error {
+	if rawGoExemptPkgs[pass.Path] {
+		return nil
+	}
+	pass.Inspect(func(n ast.Node) bool {
+		if g, ok := n.(*ast.GoStmt); ok {
+			pass.Reportf(g.Pos(), "raw go statement in sim-model code: unmanaged goroutines race the virtual clock; spawn with sim.Env.Go(name, fn) or annotate //cloudrepl:allow-rawgo <reason>")
+		}
+		return true
+	})
+	return nil
+}

@@ -1,0 +1,63 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// globalRandFuncs are the math/rand package-level functions backed by the
+// process-global source. Even when Seeded they are shared across every
+// concurrently running experiment worker, so call interleaving — not the
+// seed — decides the stream each run sees.
+var globalRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Seed": true, "Read": true,
+	// math/rand/v2 additions, should the import ever flip.
+	"N": true, "IntN": true, "Int32": true, "Int32N": true, "Int64N": true,
+	"Uint32N": true, "Uint64N": true, "UintN": true, "Uint": true,
+}
+
+// simRandEnvPkg is the one package allowed to construct rand sources: the
+// simulator kernel, where NewEnv seeds the env-threaded *rand.Rand that all
+// model code must draw from.
+const simRandEnvPkg = "cloudrepl/internal/sim"
+
+// SimRand forbids the global math/rand source and stray rand.New/NewSource
+// construction outside the sim kernel. All randomness must be threaded from
+// sim.NewEnv(seed) via Env.Rand()/Proc.Rand() so that one seed determines
+// one run.
+var SimRand = &Analyzer{
+	Name: "simrand",
+	Doc: "forbid global math/rand functions and rand.New/NewSource outside sim.NewEnv; " +
+		"randomness must be the env-threaded *rand.Rand",
+	Run: runSimRand,
+}
+
+func runSimRand(pass *Pass) error {
+	inSimKernel := pass.Path == simRandEnvPkg
+	pass.Inspect(func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || !isPkgQualifier(pass.Info, sel.X) {
+			return true
+		}
+		obj := pass.ObjectOf(sel.Sel)
+		if obj == nil || obj.Pkg() == nil {
+			return true
+		}
+		path := obj.Pkg().Path()
+		if path != "math/rand" && path != "math/rand/v2" {
+			return true
+		}
+		name := obj.Name()
+		switch {
+		case globalRandFuncs[name]:
+			pass.Reportf(sel.Pos(), "global math/rand.%s: draw from the env-threaded source (sim.Env.Rand / Proc.Rand) so the seed determines the run, or annotate //cloudrepl:allow-simrand <reason>", name)
+		case (name == "New" || name == "NewSource" || strings.HasPrefix(name, "NewPCG") || name == "NewChaCha8") && !inSimKernel:
+			pass.Reportf(sel.Pos(), "rand.%s outside the sim kernel: construct randomness once in sim.NewEnv(seed) and thread *rand.Rand through, or annotate //cloudrepl:allow-simrand <reason>", name)
+		}
+		return true
+	})
+	return nil
+}

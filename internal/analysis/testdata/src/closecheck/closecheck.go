@@ -1,0 +1,55 @@
+// Fixture for the closecheck analyzer: error results dropped in statement
+// position and discarded resource accessors are flagged; explicit discards,
+// defers and the fmt printers are not.
+package closecheck
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+type conn struct{}
+
+type queue struct{}
+
+func (queue) Get() (int, bool)    { return 0, false }
+func (queue) TryGet() (int, bool) { return 0, false }
+func (queue) Peek() (int, bool)   { return 0, false }
+func (queue) Close()              {}
+
+type pool struct{}
+
+func (pool) Borrow() (conn, error) { return conn{}, nil }
+
+func exec() error { return errors.New("boom") }
+
+func bad(q queue, pl pool) {
+	exec()      // want `result of exec dropped: the error is silently ignored`
+	q.Get()     // want `result of q\.Get dropped: the returned resource/message is lost`
+	q.TryGet()  // want `result of q\.TryGet dropped`
+	q.Peek()    // want `result of q\.Peek dropped`
+	pl.Borrow() // want `result of pl\.Borrow dropped: the error is silently ignored`
+}
+
+func ok(q queue, pl pool) {
+	_, _ = q.Get() // explicit discard is visible and greppable
+	_ = exec()
+	if err := exec(); err != nil {
+		_ = err
+	}
+	c, err := pl.Borrow()
+	_ = c
+	_ = err
+	q.Close() // no results to drop
+	defer func() { _ = exec() }()
+	fmt.Println("printer errors are exempt")
+	var b strings.Builder
+	b.WriteString("infallible")
+	_ = b.String()
+}
+
+//cloudrepl:allow-closecheck fixture exercising the annotation escape hatch
+func allowed() {
+	exec()
+}

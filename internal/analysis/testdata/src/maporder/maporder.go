@@ -1,0 +1,62 @@
+// Fixture for the maporder analyzer: map ranges whose body can observe
+// iteration order are flagged; pure order-insensitive collection loops
+// (collect-then-sort, set insert, integer counting) are not.
+package maporder
+
+import "sort"
+
+func bad(m map[string]int) {
+	for k := range m { // want `range over map`
+		println(k) // emits in hash order
+	}
+	var sum float64
+	for _, v := range m { // want `range over map`
+		sum += float64(v) // float addition is order-dependent
+	}
+	var first string
+	for k := range m { // want `range over map`
+		first = k // keeps an arbitrary element
+		break
+	}
+	_ = first
+	var out []string
+	for k, v := range m { // want `range over map`
+		if v > 0 {
+			out = append(out, k)
+		} else {
+			println(k) // one branch escapes the collection pattern
+		}
+	}
+}
+
+func good(m map[string]int, ptr *map[string]int) []string {
+	var keys []string
+	for k := range m { // pure collection: collect then sort
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	n := 0
+	for _, v := range m { // integer accumulation commutes
+		n += v
+	}
+	count := 0
+	for _, v := range m { // conditional counting still commutes
+		if v > 0 {
+			count++
+			continue
+		}
+		count += 2
+	}
+	seen := map[string]bool{}
+	for k := range m { // set insert
+		seen[k] = true
+	}
+	for k := range *ptr { // deref'd maps are handled too
+		delete(m, k)
+	}
+	var sl []int
+	for range sl { // slices are ordered: never flagged
+		n++
+	}
+	return keys
+}

@@ -1,0 +1,16 @@
+// Fixture for the rawgo analyzer: raw go statements are flagged in
+// sim-model code; the annotation escape hatch is honored.
+package rawgo
+
+func work() {}
+
+func bad() {
+	go work()      // want `raw go statement`
+	go func() {}() // want `raw go statement`
+	defer work()   // defer is synchronous: not flagged
+}
+
+//cloudrepl:allow-rawgo fixture exercising the annotation escape hatch
+func allowed() {
+	go work()
+}

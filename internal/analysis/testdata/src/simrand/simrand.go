@@ -1,0 +1,28 @@
+// Fixture for the simrand analyzer: global math/rand functions and source
+// construction outside the sim kernel are flagged; drawing from an
+// env-threaded *rand.Rand is not.
+package simrand
+
+import "math/rand"
+
+func bad() {
+	_ = rand.Intn(10)                  // want `global math/rand\.Intn`
+	_ = rand.Float64()                 // want `global math/rand\.Float64`
+	_ = rand.Perm(4)                   // want `global math/rand\.Perm`
+	rand.Shuffle(3, func(int, int) {}) // want `global math/rand\.Shuffle`
+	src := rand.NewSource(1)           // want `rand\.NewSource outside the sim kernel`
+	_ = rand.New(src)                  // want `rand\.New outside the sim kernel`
+}
+
+// ok draws from a threaded source: methods on *rand.Rand share the
+// package's objects, so this proves the analyzer separates the package
+// qualifier from instance methods.
+func ok(rng *rand.Rand) int {
+	rng.Shuffle(3, func(int, int) {})
+	return rng.Intn(10) + int(rng.Int63n(5))
+}
+
+//cloudrepl:allow-simrand fixture exercising the annotation escape hatch
+func allowed() int {
+	return rand.Intn(10)
+}

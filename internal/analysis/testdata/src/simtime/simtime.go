@@ -1,0 +1,43 @@
+// Fixture for the simtime analyzer: every wall-clock read or wait is
+// flagged; virtual-time constructions and annotated uses are not.
+package simtime
+
+import "time"
+
+func bad() {
+	_ = time.Now()              // want `wall-clock call time\.Now`
+	time.Sleep(time.Second)     // want `wall-clock call time\.Sleep`
+	<-time.After(time.Second)   // want `wall-clock call time\.After`
+	_ = time.NewTimer(0)        // want `wall-clock call time\.NewTimer`
+	_ = time.NewTicker(1)       // want `wall-clock call time\.NewTicker`
+	_ = time.Tick(time.Second)  // want `wall-clock call time\.Tick`
+	_ = time.AfterFunc(0, bad)  // want `wall-clock call time\.AfterFunc`
+	_ = time.Since(time.Time{}) // want `wall-clock call time\.Since`
+	_ = time.Until(time.Time{}) // want `wall-clock call time\.Until`
+}
+
+func ok() {
+	d := 5 * time.Second // duration arithmetic carries no clock
+	_ = d
+	t := time.Unix(0, 0) // constructing an absolute instant is fine
+	_ = t.Add(d)
+}
+
+// okShadow proves resolution is type-based: a local identifier named time
+// is not the time package.
+func okShadow() {
+	time := struct{ f func() int64 }{f: func() int64 { return 0 }}
+	_ = time.f()
+}
+
+// allowed demonstrates the escape hatch: the directive in this doc comment
+// covers the whole function.
+//
+//cloudrepl:allow-simtime fixture exercising the annotation escape hatch
+func allowed() {
+	_ = time.Now()
+}
+
+func allowedInline() {
+	_ = time.Now() //cloudrepl:allow-simtime inline escape hatch
+}

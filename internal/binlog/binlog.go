@@ -145,7 +145,7 @@ type Log struct {
 
 // New creates an empty log bound to env.
 func New(env *sim.Env) *Log {
-	return &Log{env: env, appended: sim.NewSignal(env)}
+	return &Log{env: env, appended: sim.NewSignal(env).Named("binlog-appended")}
 }
 
 // Append adds a statement to the log and wakes tailing readers. It returns

@@ -173,7 +173,7 @@ func (c *Cloud) Launch(name string, t InstanceType, pl Placement) *Instance {
 		SpeedFactor: 1,
 		cloud:       c,
 		up:          true,
-		upSig:       sim.NewSignal(c.env),
+		upSig:       sim.NewSignal(c.env).Named(name + "/up"),
 		upSince:     c.env.Now(),
 	}
 	if len(c.cfg.CPUModels) > 0 {

@@ -1,0 +1,97 @@
+package experiment
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// InjectNondeterminism, when set, salts every determinism-check encoding
+// with a draw from the global math/rand stream — exactly the class of bug
+// the checker exists to catch (state outside the run's seeded Env leaking
+// into results). The bench CLI's -determinism-inject flag sets it to prove,
+// end to end, that the checker fails when it should; nothing else may
+// enable it.
+var InjectNondeterminism bool
+
+// CheckDeterminism executes run twice and byte-compares the canonical
+// indented-JSON encodings of the two results. Any difference — a reordered
+// map, a wall-clock timestamp, global rand state, host-scheduling leakage —
+// fails with the first divergent line. The run function must construct
+// everything it randomizes from its own fixed seed.
+func CheckDeterminism(name string, run func() (any, error)) error {
+	first, err := runEncoded(run)
+	if err != nil {
+		return fmt.Errorf("%s: first run: %w", name, err)
+	}
+	second, err := runEncoded(run)
+	if err != nil {
+		return fmt.Errorf("%s: second run: %w", name, err)
+	}
+	if bytes.Equal(first, second) {
+		return nil
+	}
+	return fmt.Errorf("%s: two runs with one seed produced different results\n%s",
+		name, firstDivergence(first, second))
+}
+
+func runEncoded(run func() (any, error)) ([]byte, error) {
+	v, err := run()
+	if err != nil {
+		return nil, err
+	}
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	if InjectNondeterminism {
+		//cloudrepl:allow-simrand deliberate self-test entropy: -determinism-inject must make the check fail
+		b = append(b, fmt.Sprintf("\ninjected-entropy: %d", rand.Int63())...)
+	}
+	return b, nil
+}
+
+// firstDivergence locates the first line where the two encodings disagree,
+// so a failure points at the drifting field instead of dumping two blobs.
+func firstDivergence(a, b []byte) string {
+	al := strings.Split(string(a), "\n")
+	bl := strings.Split(string(b), "\n")
+	n := len(al)
+	if len(bl) < n {
+		n = len(bl)
+	}
+	for i := 0; i < n; i++ {
+		if al[i] != bl[i] {
+			return fmt.Sprintf("first divergence at JSON line %d:\n  run 1: %s\n  run 2: %s",
+				i+1, strings.TrimSpace(al[i]), strings.TrimSpace(bl[i]))
+		}
+	}
+	return fmt.Sprintf("encodings agree on the first %d lines but differ in length: %d vs %d lines",
+		n, len(al), len(bl))
+}
+
+// PipelineDeterminism runs the A-PIPELINE ablation twice with the same
+// SweepOpts (hence the same seed schedule) and byte-compares the JSON the
+// bench would write. quick trims the grid to the corner points — two
+// variants, 1 and 4 slaves, two workloads — which exercises every pipeline
+// stage (group commit, batching, parallel apply) in a fraction of the time;
+// the full grid is the real A-PIPELINE sweep.
+func PipelineDeterminism(opts SweepOpts, quick bool) error {
+	variants := PipelineVariants()
+	slaveNums := []int{1, 2, 4}
+	userNums := []int{50, 100, 150, 200, 250, 300}
+	if quick {
+		variants = []PipelineVariant{variants[0], variants[len(variants)-1]}
+		slaveNums = []int{1, 4}
+		userNums = []int{50, 150}
+	}
+	return CheckDeterminism("A-PIPELINE", func() (any, error) {
+		r, err := ablationPipelineGrid(opts, variants, slaveNums, userNums)
+		if err != nil {
+			return nil, err
+		}
+		return PipelineJSON(r), nil
+	})
+}

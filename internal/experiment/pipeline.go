@@ -72,13 +72,18 @@ type PipelineResult struct {
 // knee sits right of the baseline's at 4 slaves, while unloaded delay and
 // loaded p95 staleness do not regress.
 func AblationPipeline(opts SweepOpts) (PipelineResult, error) {
+	return ablationPipelineGrid(opts, PipelineVariants(), []int{1, 2, 4},
+		[]int{50, 100, 150, 200, 250, 300})
+}
+
+// ablationPipelineGrid is AblationPipeline over an explicit grid; the
+// determinism sanitizer uses a trimmed corner grid through it.
+func ablationPipelineGrid(opts SweepOpts, variants []PipelineVariant, slaveNums, userNums []int) (PipelineResult, error) {
 	ramp, steady, down := opts.phases()
 	out := PipelineResult{
 		Loc:      SameZone,
-		UserNums: []int{50, 100, 150, 200, 250, 300},
+		UserNums: userNums,
 	}
-	variants := PipelineVariants()
-	slaveNums := []int{1, 2, 4}
 
 	type job struct {
 		curve, point int // point == -1 is the unloaded baseline

@@ -77,7 +77,7 @@ func New[T any](env *sim.Env, cfg Config, factory func() T, closer func(T)) *Poo
 		closer = func(T) {}
 	}
 	return &Pool[T]{env: env, cfg: cfg, factory: factory, closer: closer,
-		waiters: sim.NewSignal(env), closeSig: sim.NewSignal(env)}
+		waiters: sim.NewSignal(env).Named("pool-waiters"), closeSig: sim.NewSignal(env).Named("pool-close")}
 }
 
 // Stats returns a snapshot of the counters.

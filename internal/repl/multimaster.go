@@ -63,7 +63,7 @@ func NewMultiMaster(env *sim.Env, net *cloud.Network, servers []*server.DBServer
 			Index:   i,
 			mm:      mm,
 			applyQ:  sim.NewQueue[mmEvent](env, fmt.Sprintf("%s/mm-apply", srv.Name)),
-			applied: sim.NewSignal(env),
+			applied: sim.NewSignal(env).Named(srv.Name + "/mm-applied"),
 		}
 		n.pipe = cloud.NewPipe(net, seqAt, srv.Inst.Place, n.applyQ)
 		mm.nodes = append(mm.nodes, n)
@@ -125,7 +125,7 @@ func (n *MMNode) ExecWrite(p *sim.Proc, db, sql string, args ...sqlengine.Value)
 	}
 	mm := n.mm
 	var seq uint64
-	assigned := sim.NewSignal(mm.env)
+	assigned := sim.NewSignal(mm.env).Named(n.Srv.Name + "/mm-seq-assign")
 	mm.env.Schedule(mm.net.OneWay(n.Srv.Inst.Place, mm.seqAt), func() {
 		mm.nextSeq++
 		seq = mm.nextSeq

@@ -85,7 +85,7 @@ func (m *Master) startParallelApplier(sl *Slave, ackPipe func(ack), workers int)
 	st := &applyState{
 		sl:      sl,
 		done:    make(map[uint64]binlog.Entry),
-		doneSig: sim.NewSignal(m.env),
+		doneSig: sim.NewSignal(m.env).Named(sl.Srv.Name + "/apply-done"),
 		byTable: make(map[string]uint64),
 	}
 

@@ -135,7 +135,7 @@ func (m *Master) Stats() Stats {
 func NewMaster(env *sim.Env, srv *server.DBServer, net *cloud.Network, mode Mode) *Master {
 	return &Master{
 		Srv: srv, Net: net, Mode: mode,
-		env: env, ackCh: sim.NewSignal(env), detached: make(map[*Slave]bool),
+		env: env, ackCh: sim.NewSignal(env).Named("semisync-ack(" + srv.Name + ")"), detached: make(map[*Slave]bool),
 	}
 }
 

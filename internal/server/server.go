@@ -240,7 +240,7 @@ func (s *DBServer) groupCommit(p *sim.Proc) {
 	}
 	s.gcOpen = true
 	s.gcSize = 1
-	s.gcSig = sim.NewSignal(s.env)
+	s.gcSig = sim.NewSignal(s.env).Named(s.Name + "/group-commit")
 	if s.stats.MaxGroupSize < 1 {
 		s.stats.MaxGroupSize = 1
 	}

@@ -66,7 +66,7 @@ func (q *Queue[T]) Get(p *Proc) (v T, ok bool) {
 			return v, false
 		}
 		q.waiters = append(q.waiters, p)
-		p.wait()
+		p.wait(ParkQueue, q.name)
 	}
 	v = q.items[0]
 	var zero T

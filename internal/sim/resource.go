@@ -82,7 +82,7 @@ func (r *Resource) acquire(p *Proc, high bool) {
 	} else {
 		r.waiters = append(r.waiters, p)
 	}
-	p.wait()
+	p.wait(ParkResource, r.name)
 	// The releasing side already claimed the slot on our behalf.
 	r.totalWait += r.env.now - start
 }

@@ -8,6 +8,7 @@ import "time"
 // and cluster state changes are built on Signals.
 type Signal struct {
 	env     *Env
+	name    string
 	waiters []*sigWaiter
 }
 
@@ -21,6 +22,16 @@ type sigWaiter struct {
 // NewSignal creates a Signal bound to env.
 func NewSignal(env *Env) *Signal { return &Signal{env: env} }
 
+// Named sets the signal's diagnostic name (shown in deadlock wait-for
+// dumps) and returns the signal, so it chains onto NewSignal.
+func (s *Signal) Named(name string) *Signal {
+	s.name = name
+	return s
+}
+
+// Name returns the diagnostic name given to Named ("" if unset).
+func (s *Signal) Name() string { return s.name }
+
 // Waiting returns the number of blocked waiters.
 func (s *Signal) Waiting() int { return len(s.waiters) }
 
@@ -28,7 +39,7 @@ func (s *Signal) Waiting() int { return len(s.waiters) }
 func (s *Signal) Wait(p *Proc) {
 	w := &sigWaiter{p: p}
 	s.waiters = append(s.waiters, w)
-	p.wait()
+	p.wait(ParkSignal, s.name)
 }
 
 // WaitTimeout blocks until the next Broadcast or until d elapses. It reports
@@ -45,7 +56,7 @@ func (s *Signal) WaitTimeout(p *Proc, d time.Duration) bool {
 		s.env.scheduleProc(s.env.now, p)
 	})
 	s.waiters = append(s.waiters, w)
-	p.wait()
+	p.wait(ParkSignal, s.name)
 	return !w.timedOut
 }
 

@@ -6,6 +6,8 @@ import (
 	"math"
 	"math/rand"
 	"runtime/debug"
+	"sort"
+	"strings"
 	"time"
 )
 
@@ -91,6 +93,9 @@ type Env struct {
 	panicVal   any
 	panicStack []byte
 	procSeq    uint64
+	// procs indexes every live process by id so the deadlock detector can
+	// dump a wait-for graph (who is parked on which resource/queue/signal).
+	procs map[uint64]*Proc
 }
 
 // NewEnv returns a fresh environment whose random source is seeded with seed.
@@ -102,6 +107,7 @@ func NewEnv(seed int64) *Env {
 		yield:   make(chan yieldMsg),
 		doneCh:  make(chan struct{}),
 		killTok: make(chan struct{}, 1),
+		procs:   make(map[uint64]*Proc),
 	}
 }
 
@@ -155,6 +161,37 @@ func (e *Env) scheduleProc(at Time, p *Proc) *event {
 	return e.push(&event{at: at, proc: p})
 }
 
+// ParkKind classifies what a blocked process is waiting for; it feeds the
+// deadlock detector's wait-for dump.
+type ParkKind uint8
+
+const (
+	ParkNone     ParkKind = iota // running or runnable
+	ParkStart                    // spawned, waiting for its first resume
+	ParkTimer                    // Sleep / SleepUntil
+	ParkResource                 // Resource.Acquire wait queue
+	ParkQueue                    // Queue.Get on an empty queue
+	ParkSignal                   // Signal.Wait / WaitTimeout
+)
+
+func (k ParkKind) String() string {
+	switch k {
+	case ParkNone:
+		return "runnable"
+	case ParkStart:
+		return "start"
+	case ParkTimer:
+		return "timer"
+	case ParkResource:
+		return "resource"
+	case ParkQueue:
+		return "queue"
+	case ParkSignal:
+		return "signal"
+	}
+	return "unknown"
+}
+
 // Proc is a simulation process. All blocking methods must be called from the
 // process's own goroutine while it is the running process.
 type Proc struct {
@@ -162,10 +199,31 @@ type Proc struct {
 	name   string
 	id     uint64
 	resume chan struct{}
+
+	// Park state: what the process is currently blocked on. Written by the
+	// process right before yielding and cleared when it resumes; read by
+	// the scheduler goroutine for the wait-for dump (the two never run
+	// concurrently, so no locking is needed).
+	parkKind ParkKind
+	parkObj  string // name of the resource/queue/signal, "" for timers
 }
 
 // Name returns the process name given to Go.
 func (p *Proc) Name() string { return p.name }
+
+// ID returns the process's spawn-ordered identifier (1 for the first
+// process started on the Env). Together with Name it labels the process in
+// deadlock dumps and determinism diffs.
+func (p *Proc) ID() uint64 { return p.id }
+
+// ParkedOn describes what the process is blocked on ("queue relay(slave1)",
+// "timer", "runnable"), for diagnostics.
+func (p *Proc) ParkedOn() string {
+	if p.parkKind == ParkNone || p.parkKind == ParkTimer || p.parkObj == "" {
+		return p.parkKind.String()
+	}
+	return p.parkKind.String() + " " + p.parkObj
+}
 
 // Env returns the owning environment.
 func (p *Proc) Env() *Env { return p.env }
@@ -184,8 +242,13 @@ func (e *Env) Go(name string, fn func(p *Proc)) *Proc {
 		panic("sim: Go on a closed Env")
 	}
 	e.procSeq++
-	p := &Proc{env: e, name: name, id: e.procSeq, resume: make(chan struct{})}
+	p := &Proc{env: e, name: name, id: e.procSeq, resume: make(chan struct{}), parkKind: ParkStart}
 	e.alive++
+	e.procs[p.id] = p
+	// The kernel's own process launcher is the one place a goroutine may be
+	// created: the scheduler immediately owns it and resumes it one at a
+	// time against the virtual clock.
+	//cloudrepl:allow-rawgo the sim kernel implements Env.Go itself; the goroutine is scheduler-managed from birth
 	go func() {
 		defer func() {
 			if r := recover(); r != nil {
@@ -201,26 +264,30 @@ func (e *Env) Go(name string, fn func(p *Proc)) *Proc {
 		case <-e.doneCh:
 			e.awaitKill()
 		}
+		p.parkKind, p.parkObj = ParkNone, ""
 		fn(p)
 	}()
 	e.scheduleProc(e.now, p)
 	return p
 }
 
-// wait blocks the calling process until it is resumed by the scheduler.
-// The caller must have arranged for a wakeup (timer event, resource grant,
-// queue put, signal) before calling wait.
-func (p *Proc) wait() {
+// wait blocks the calling process until it is resumed by the scheduler,
+// recording what it is parked on (kind + object name) for the deadlock
+// detector. The caller must have arranged for a wakeup (timer event,
+// resource grant, queue put, signal) before calling wait.
+func (p *Proc) wait(kind ParkKind, obj string) {
 	e := p.env
 	if e.cur != p {
 		panic(fmt.Sprintf("sim: blocking call on process %q from outside its own goroutine", p.name))
 	}
+	p.parkKind, p.parkObj = kind, obj
 	e.yield <- yieldMsg{p, yieldBlocked}
 	select {
 	case <-p.resume:
 	case <-e.doneCh:
 		e.awaitKill()
 	}
+	p.parkKind, p.parkObj = ParkNone, ""
 }
 
 // awaitKill serializes process teardown during Shutdown. Every parked
@@ -241,14 +308,14 @@ func (p *Proc) Sleep(d time.Duration) {
 		d = 0
 	}
 	p.env.scheduleProc(p.env.now+d, p)
-	p.wait()
+	p.wait(ParkTimer, "")
 }
 
 // SleepUntil suspends the process until virtual time t (immediately resumes
 // if t is in the past).
 func (p *Proc) SleepUntil(t Time) {
 	p.env.scheduleProc(t, p)
-	p.wait()
+	p.wait(ParkTimer, "")
 }
 
 // step executes the next event. It returns false when the queue is empty.
@@ -273,6 +340,7 @@ func (e *Env) step() bool {
 		e.cur = nil
 		if msg.kind == yieldDone {
 			e.alive--
+			delete(e.procs, msg.p.id)
 		}
 		e.checkPanic()
 		return true
@@ -339,6 +407,8 @@ func (e *Env) Stop() { e.stopped = true }
 // RunRealtime executes events while pacing virtual time against the wall
 // clock: one second of virtual time takes 1/speed wall seconds. It returns
 // when the queue is empty, Stop is called, or stop is closed.
+//
+//cloudrepl:allow-simtime pacing virtual time against the wall clock is this function's entire purpose
 func (e *Env) RunRealtime(speed float64, stop <-chan struct{}) {
 	if speed <= 0 {
 		speed = 1
@@ -370,10 +440,43 @@ func (e *Env) RunRealtime(speed float64, stop <-chan struct{}) {
 	}
 }
 
+// WaitForGraph renders the wait-for graph of every live process: one line
+// per process, sorted by spawn id, naming the resource, queue or signal it
+// is parked on. It is the payload of the deadlock detector's panic and is
+// also useful on its own when a test hangs.
+func (e *Env) WaitForGraph() string {
+	ids := make([]uint64, 0, len(e.procs))
+	for id := range e.procs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	var b strings.Builder
+	for _, id := range ids {
+		p := e.procs[id]
+		name := p.name
+		if name == "" {
+			name = "(unnamed)"
+		}
+		fmt.Fprintf(&b, "  proc %-4d %-28s parked on %s\n", p.id, name, p.ParkedOn())
+	}
+	return b.String()
+}
+
+// shutdownWatchdog bounds how long Shutdown waits for a single process to
+// unwind before declaring the kernel wedged and dumping the wait-for graph.
+var shutdownWatchdog = 5 * time.Second
+
 // Shutdown unwinds every blocked process so that no goroutines leak. The
 // environment must not be used afterwards. It is safe to call Shutdown after
 // Run has returned, including when processes are still blocked on resources
 // or queues.
+//
+// If a process fails to unwind — deferred cleanup blocked on a kernel
+// primitive the scheduler does not manage, typically — Shutdown panics with
+// a deadlock report: every live process's name and the resource, queue or
+// signal it is parked on, so the hang is attributable without a debugger.
+//
+//cloudrepl:allow-simtime the unwind watchdog must measure wall time: a wedged process stops the virtual clock entirely
 func (e *Env) Shutdown() {
 	if e.closed {
 		return
@@ -387,19 +490,31 @@ func (e *Env) Shutdown() {
 	// wait for that process to finish unwinding before releasing the next,
 	// so deferred cleanup never runs concurrently across processes.
 	remaining := e.alive
+	watchdog := time.NewTimer(shutdownWatchdog)
+	defer watchdog.Stop()
 	for remaining > 0 {
 		e.killTok <- struct{}{}
 		waitDone := true
 		for waitDone {
+			if !watchdog.Stop() {
+				select {
+				case <-watchdog.C:
+				default:
+				}
+			}
+			watchdog.Reset(shutdownWatchdog)
 			select {
 			case msg := <-e.yield:
 				if msg.kind == yieldDone {
 					remaining--
 					e.alive--
+					delete(e.procs, msg.p.id)
 					waitDone = false
 				}
-			case <-time.After(5 * time.Second):
-				panic(fmt.Sprintf("sim: Shutdown timed out with %d processes alive", remaining))
+			case <-watchdog.C:
+				panic(fmt.Sprintf(
+					"sim: deadlock during Shutdown: %d process(es) failed to unwind within %v\nwait-for graph:\n%s",
+					remaining, shutdownWatchdog, e.WaitForGraph()))
 			}
 		}
 	}

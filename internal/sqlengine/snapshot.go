@@ -1,6 +1,9 @@
 package sqlengine
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // Snapshot is a consistent deep copy of an engine's entire catalog — the
 // mysqldump/xtrabackup equivalent used to provision new replicas from a
@@ -35,14 +38,19 @@ func (s *Snapshot) NumRows() int {
 
 // Snapshot captures every database, table definition and row. The caller
 // must ensure the engine is quiescent (on the simulation timeline any
-// single instant is quiescent).
+// single instant is quiescent). Databases and tables are captured in
+// sorted-name order so that two snapshots of identical catalogs are
+// byte-identical — replica provisioning cost and restore order must not
+// depend on Go's per-run map hashing.
 func (e *Engine) Snapshot() *Snapshot {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	snap := &Snapshot{}
-	for _, db := range e.dbs {
+	for _, dbKey := range sortedKeys(e.dbs) {
+		db := e.dbs[dbKey]
 		sd := snapshotDB{name: db.Name}
-		for _, tbl := range db.tables {
+		for _, tblKey := range sortedKeys(db.tables) {
+			tbl := db.tables[tblKey]
 			st := snapshotTable{
 				name:    tbl.Name,
 				columns: append([]ColumnDef(nil), tbl.Columns...),
@@ -96,6 +104,16 @@ func (e *Engine) Restore(snap *Snapshot) error {
 	}
 	e.dbs = dbs
 	return nil
+}
+
+// sortedKeys returns m's keys in sorted order, for deterministic iteration.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 func lowerKey(s string) string {
