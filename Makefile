@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-smoke determinism-smoke fuzz-seed figures examples vet fmt fmt-check lint clean check
+.PHONY: all build test race bench bench-smoke determinism-smoke trace-smoke fuzz-seed figures examples vet fmt fmt-check lint clean check
 
 all: build vet lint test
 
@@ -10,6 +10,7 @@ check:
 	$(GO) vet ./...
 	$(MAKE) lint
 	$(GO) test -race ./...
+	$(MAKE) trace-smoke
 
 # Determinism linters (simtime, simrand, rawgo, maporder, closecheck) plus
 # the gofmt cleanliness gate. cloudrepl-lint is the repo's own multichecker
@@ -55,6 +56,14 @@ determinism-smoke:
 	@if $(GO) run ./cmd/cloudrepl-bench -determinism-inject -short -q >/dev/null 2>&1; then \
 		echo "determinism-inject self-test did NOT fail"; exit 1; \
 	else echo "determinism-inject self-test failed as it must"; fi
+
+# Traced pipeline run end to end: write a Chrome trace-event file, then
+# have cloudrepl-trace parse it and check every pipeline stage (client,
+# pool, proxy, server, binlog, apply) produced at least one span and one
+# trace covers the whole chain.
+trace-smoke:
+	$(GO) run ./cmd/cloudrepl-bench -trace results/trace.json -q
+	$(GO) run ./cmd/cloudrepl-trace -check results/trace.json
 
 # One pass over the checked-in binlog fuzz corpus (no new input generation:
 # every testdata/fuzz seed must keep passing).

@@ -8,6 +8,7 @@
 //	cloudrepl-bench -ablation sync,lb,var
 //	cloudrepl-bench -ablation elastic    # SLO-driven autoscaling (A-ELASTIC)
 //	cloudrepl-bench -ablation pipeline   # replication data path (A-PIPELINE)
+//	cloudrepl-bench -trace out.json      # fully-traced pipeline run (cloudrepl-trace summarizes)
 //	cloudrepl-bench -all -csv out/       # everything, with CSVs for plotting
 //	cloudrepl-bench -all -json out/      # machine-readable BENCH_*.json files
 //
@@ -25,6 +26,7 @@ import (
 	"time"
 
 	"cloudrepl/internal/experiment"
+	"cloudrepl/internal/obs"
 )
 
 func main() {
@@ -37,6 +39,7 @@ func main() {
 	short := flag.Bool("short", false, "use the 2/5/1-minute quick protocol instead of 10/20/5")
 	seed := flag.Int64("seed", 1, "base random seed")
 	par := flag.Int("par", 0, "parallel runs (0 = GOMAXPROCS)")
+	tracePath := flag.String("trace", "", "run one fully-traced pipeline point and write its Chrome trace-event JSON here (view in chrome://tracing or summarize with cloudrepl-trace)")
 	csvDir := flag.String("csv", "", "directory to write per-figure CSV files into")
 	jsonDir := flag.String("json", "", "directory to write machine-readable BENCH_*.json files into")
 	quiet := flag.Bool("q", false, "suppress per-run progress lines")
@@ -72,11 +75,15 @@ func main() {
 		if err := experiment.PipelineDeterminism(opts, *short); err != nil {
 			fatal(err)
 		}
+		banner("determinism sanitizer: traced run twice with one seed, byte-compared trace + metrics")
+		if err := experiment.TraceDeterminism(opts); err != nil {
+			fatal(err)
+		}
 		fmt.Println("determinism check passed: both runs produced byte-identical JSON")
 		return
 	}
 
-	if len(want) == 0 {
+	if len(want) == 0 && *tracePath == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -239,6 +246,28 @@ func main() {
 		}
 		fmt.Println(experiment.RenderElastic(r))
 		writeJSON("elastic", experiment.ElasticJSON(r))
+	}
+
+	if *tracePath != "" {
+		banner("trace: fully-instrumented pipeline run (quick protocol)")
+		r, err := experiment.TraceRun(opts)
+		if err != nil {
+			fatal(err)
+		}
+		if dir := filepath.Dir(*tracePath); dir != "." {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				fatal(err)
+			}
+		}
+		if err := os.WriteFile(*tracePath, r.TraceJSON, 0o644); err != nil {
+			fatal(err)
+		}
+		spans, err := obs.ParseTrace(r.TraceJSON)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(obs.Summarize(spans, 10))
+		fmt.Fprintf(os.Stderr, "wrote %s (%d spans)\n", *tracePath, len(spans))
 	}
 
 	//cloudrepl:allow-simtime the CLI reports real elapsed wall time, not simulated time

@@ -50,11 +50,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	db := core.Open(clu, core.Options{
-		Database:    "shop",
-		ClientPlace: zone,
-		Retry:       proxy.DefaultRetryPolicy(),
-	})
+	db := core.Open(clu,
+		core.WithDatabase("shop"),
+		core.WithClientPlace(zone),
+		core.WithRetryPolicy(proxy.DefaultRetryPolicy()))
 
 	// The fault plan: slave1 reboots at 2:00 (back at 3:00), the master
 	// dies for good at 5:00.

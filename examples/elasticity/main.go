@@ -61,11 +61,10 @@ func main() {
 		{Users: 200, Dur: 150 * time.Second},
 		{Users: 250, Dur: 150 * time.Second},
 	}
-	db := core.Open(clu, core.Options{
-		Database:    cloudstone.DatabaseName,
-		ClientPlace: zone,
-		Pool:        pool.Config{MaxActive: 260, MaxIdle: 260},
-	})
+	db := core.Open(clu,
+		core.WithDatabase(cloudstone.DatabaseName),
+		core.WithClientPlace(zone),
+		core.WithPool(pool.Config{MaxActive: 260, MaxIdle: 260}))
 	hb := heartbeat.Start(env, clu.Master(), time.Second)
 	driver := cloudstone.NewDriver(db, cloudstone.Config{
 		Scale:     300,

@@ -48,7 +48,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	db := core.Open(clu, core.Options{Database: "shop", ClientPlace: zone})
+	db := core.Open(clu, core.WithDatabase("shop"), core.WithClientPlace(zone))
 
 	env.Go("app", func(p *sim.Proc) {
 		stamp := func(format string, args ...any) {

@@ -49,7 +49,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	db := core.Open(clu, core.Options{Database: cloudstone.DatabaseName, ClientPlace: master})
+	db := core.Open(clu, core.WithDatabase(cloudstone.DatabaseName), core.WithClientPlace(master))
 	hb := heartbeat.Start(env, clu.Master(), time.Second)
 
 	measure := func(label string, from, to sim.Time) {

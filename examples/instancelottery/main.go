@@ -50,7 +50,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	db := core.Open(clu, core.Options{Database: "app", ClientPlace: zone})
+	db := core.Open(clu, core.WithDatabase("app"), core.WithClientPlace(zone))
 
 	env.Go("ops", func(p *sim.Proc) {
 		show := func(title string) float64 {

@@ -52,7 +52,7 @@ func run(name string, pc repl.PipelineConfig) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	db := core.Open(clu, core.Options{Database: "shop", ClientPlace: zone})
+	db := core.Open(clu, core.WithDatabase("shop"), core.WithClientPlace(zone))
 	sl := clu.Slaves()[0]
 
 	// Six readers keep the replica's only vCPU busy — the contention that

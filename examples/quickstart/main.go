@@ -49,7 +49,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	db := core.Open(clu, core.Options{Database: "app", ClientPlace: zone})
+	db := core.Open(clu, core.WithDatabase("app"), core.WithClientPlace(zone))
 
 	env.Go("app", func(p *sim.Proc) {
 		// Writes are routed to the master.
@@ -79,7 +79,8 @@ func main() {
 			p.Now().Round(time.Millisecond), set.Rows[0][0])
 
 		// The application can scale the read tier at runtime.
-		if err := db.ScaleOut(cluster.NodeSpec{Place: cloud.Placement{Region: cloud.USWest1, Zone: "b"}}); err != nil {
+		spec := cluster.NodeSpec{Place: cloud.Placement{Region: cloud.USWest1, Zone: "b"}}
+		if err := db.Scale(p, +1, core.ScaleOpts{Spec: spec}); err != nil {
 			log.Fatal(err)
 		}
 		db.WaitCaughtUp(p, time.Minute)

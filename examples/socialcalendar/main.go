@@ -23,7 +23,7 @@ import (
 	"cloudrepl/internal/sqlengine"
 )
 
-func buildTierOpts(env *sim.Env, opts core.Options) *core.DB {
+func buildTierOpts(env *sim.Env, extra ...core.Option) *core.DB {
 	provider := cloud.New(env, cloud.DefaultConfig())
 	zone := cloud.Placement{Region: cloud.USWest1, Zone: "a"}
 	clu, err := cluster.New(env, provider, cluster.Config{
@@ -36,13 +36,15 @@ func buildTierOpts(env *sim.Env, opts core.Options) *core.DB {
 	if err != nil {
 		log.Fatal(err)
 	}
-	opts.Database = cloudstone.DatabaseName
-	opts.ClientPlace = zone
-	return core.Open(clu, opts)
+	opts := append([]core.Option{
+		core.WithDatabase(cloudstone.DatabaseName),
+		core.WithClientPlace(zone),
+	}, extra...)
+	return core.Open(clu, opts...)
 }
 
 func buildTier(env *sim.Env, balancer proxy.Balancer) *core.DB {
-	return buildTierOpts(env, core.Options{Balancer: balancer})
+	return buildTierOpts(env, core.WithBalancer(balancer))
 }
 
 // bgWrite issues one background-load insert. No fault injection runs in
@@ -137,7 +139,7 @@ func main() {
 	// own* reads are pinned to fresh replicas (or the master); everyone
 	// else keeps balancing freely. The cheapest fix for this anomaly.
 	env4 := sim.NewEnv(7)
-	db4 := buildTierOpts(env4, core.Options{ReadYourWrites: true})
+	db4 := buildTierOpts(env4, core.WithReadYourWrites())
 	for w := 0; w < 12; w++ {
 		w := w
 		env4.Go(fmt.Sprintf("writer%d", w), func(p *sim.Proc) {

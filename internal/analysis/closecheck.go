@@ -7,13 +7,18 @@ import (
 
 // mustConsumeMethods name the simulator-resource accessors whose results
 // must not be dropped: a Borrow whose connection is discarded leaks a pool
-// slot until eviction, and a Get/TryGet/Peek whose value is discarded
-// silently loses a replication message.
+// slot until eviction, a Get/TryGet/Peek whose value is discarded silently
+// loses a replication message, and a StartSpan/StartLinked whose span handle
+// is dropped can never be ended — the span stays on the process's open-span
+// stack forever, mis-parenting every later span on that process and counting
+// as an orphan in the trace export.
 var mustConsumeMethods = map[string]bool{
-	"Borrow": true,
-	"Get":    true,
-	"TryGet": true,
-	"Peek":   true,
+	"Borrow":      true,
+	"Get":         true,
+	"TryGet":      true,
+	"Peek":        true,
+	"StartSpan":   true,
+	"StartLinked": true,
 }
 
 // droppedErrorExempt lists error-returning calls whose drop is idiomatic
@@ -53,14 +58,17 @@ func droppedErrorExempt(pass *Pass, call *ast.CallExpr) bool {
 
 // CloseCheck flags calls whose results are silently dropped in statement
 // position: any call returning an error (a failed Exec/Close/Scale that
-// nobody observes), and resource accessors (Borrow/Get/TryGet/Peek) whose
-// dropped return value leaks capacity or loses a message. An explicit
-// `_ = f()` discard is allowed — it is visible and greppable — as are
-// deferred calls, the fmt printers and infallible Builder/Buffer writes.
+// nobody observes), resource accessors (Borrow/Get/TryGet/Peek) whose
+// dropped return value leaks capacity or loses a message, and span starters
+// (StartSpan/StartLinked) whose dropped handle wedges the tracer's open-span
+// stack. An explicit `_ = f()` discard is allowed — it is visible and
+// greppable — as are deferred calls, the fmt printers and infallible
+// Builder/Buffer writes.
 var CloseCheck = &Analyzer{
 	Name: "closecheck",
 	Doc: "flag dropped error results and discarded sim-resource handles " +
-		"(Borrow/Get/TryGet/Peek) that would silently leak capacity",
+		"(Borrow/Get/TryGet/Peek, StartSpan/StartLinked) that would silently " +
+		"leak capacity or wedge the tracer",
 	Run: runCloseCheck,
 }
 

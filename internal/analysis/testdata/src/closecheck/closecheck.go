@@ -22,17 +22,28 @@ type pool struct{}
 
 func (pool) Borrow() (conn, error) { return conn{}, nil }
 
+type span struct{}
+
+func (*span) End() {}
+
+type tracer struct{}
+
+func (*tracer) StartSpan(stage, name string) *span            { return nil }
+func (*tracer) StartLinked(stage, name string, ref int) *span { return nil }
+
 func exec() error { return errors.New("boom") }
 
-func bad(q queue, pl pool) {
-	exec()      // want `result of exec dropped: the error is silently ignored`
-	q.Get()     // want `result of q\.Get dropped: the returned resource/message is lost`
-	q.TryGet()  // want `result of q\.TryGet dropped`
-	q.Peek()    // want `result of q\.Peek dropped`
-	pl.Borrow() // want `result of pl\.Borrow dropped: the error is silently ignored`
+func bad(q queue, pl pool, tr *tracer) {
+	exec()                          // want `result of exec dropped: the error is silently ignored`
+	q.Get()                         // want `result of q\.Get dropped: the returned resource/message is lost`
+	q.TryGet()                      // want `result of q\.TryGet dropped`
+	q.Peek()                        // want `result of q\.Peek dropped`
+	pl.Borrow()                     // want `result of pl\.Borrow dropped: the error is silently ignored`
+	tr.StartSpan("client", "exec")  // want `result of tr\.StartSpan dropped`
+	tr.StartLinked("apply", "a", 1) // want `result of tr\.StartLinked dropped`
 }
 
-func ok(q queue, pl pool) {
+func ok(q queue, pl pool, tr *tracer) {
 	_, _ = q.Get() // explicit discard is visible and greppable
 	_ = exec()
 	if err := exec(); err != nil {
@@ -42,6 +53,9 @@ func ok(q queue, pl pool) {
 	_ = c
 	_ = err
 	q.Close() // no results to drop
+	sp := tr.StartSpan("client", "exec")
+	sp.End()
+	_ = tr.StartLinked("apply", "a", 1) // explicit discard allowed
 	defer func() { _ = exec() }()
 	fmt.Println("printer errors are exempt")
 	var b strings.Builder

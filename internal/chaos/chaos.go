@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"cloudrepl/internal/cloud"
+	"cloudrepl/internal/obs"
 	"cloudrepl/internal/sim"
 )
 
@@ -187,6 +188,21 @@ func (inj *Injector) Log() []Applied { return inj.log }
 
 // Counters returns the tally of applied faults.
 func (inj *Injector) Counters() Counters { return inj.counters }
+
+// PublishMetrics snapshots the fault tally into reg under the "chaos."
+// prefix.
+func (inj *Injector) PublishMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	c := inj.counters
+	reg.Counter("chaos.crashes").Set(float64(c.Crashes))
+	reg.Counter("chaos.restarts").Set(float64(c.Restarts))
+	reg.Counter("chaos.partitions").Set(float64(c.Partitions))
+	reg.Counter("chaos.heals").Set(float64(c.Heals))
+	reg.Counter("chaos.spikes").Set(float64(c.Spikes))
+	reg.Counter("chaos.skipped").Set(float64(c.Skipped))
+}
 
 func (inj *Injector) apply(e Event) {
 	switch e.Kind {

@@ -35,7 +35,7 @@ func newBench(t *testing.T, seed int64, nSlaves, scale int) (*sim.Env, *core.DB)
 	if err != nil {
 		t.Fatal(err)
 	}
-	return env, core.Open(clu, core.Options{Database: DatabaseName, ClientPlace: place})
+	return env, core.Open(clu, core.WithDatabase(DatabaseName), core.WithClientPlace(place))
 }
 
 func TestPreloadPopulatesAllTables(t *testing.T) {

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"cloudrepl/internal/cloud"
+	"cloudrepl/internal/obs"
 	"cloudrepl/internal/repl"
 	"cloudrepl/internal/server"
 	"cloudrepl/internal/sim"
@@ -61,6 +62,7 @@ type Cluster struct {
 
 	master *repl.Master
 	slaves []*repl.Slave
+	tracer *obs.Tracer
 	// basePos is the master binlog position right after preload; late
 	// slaves preload the same snapshot and attach here.
 	basePos uint64
@@ -101,6 +103,15 @@ func (c *Cluster) Cloud() *cloud.Cloud { return c.cloud }
 // Master returns the current replication master.
 func (c *Cluster) Master() *repl.Master { return c.master }
 
+// SetTracer wires tr into the whole replication topology — the master, its
+// server and every slave's server — and keeps it wired across AddSlave,
+// provisioning and Failover. core.WithTracer calls this at Open; nil turns
+// tracing off.
+func (c *Cluster) SetTracer(tr *obs.Tracer) {
+	c.tracer = tr
+	c.master.SetTracer(tr)
+}
+
 // Slaves returns the attached replicas.
 func (c *Cluster) Slaves() []*repl.Slave { return c.master.Slaves() }
 
@@ -115,6 +126,7 @@ func (c *Cluster) AddSlave(spec NodeSpec) (*repl.Slave, error) {
 	inst := c.cloud.Launch(name, spec.Type, spec.Place)
 	srv := server.New(c.env, name, inst, c.cfg.Cost)
 	srv.PriorityApply = c.cfg.PriorityApply
+	srv.Tracer = c.tracer
 	if c.cfg.Preload != nil {
 		if err := c.cfg.Preload(srv); err != nil {
 			return nil, fmt.Errorf("cluster: preload %s: %w", name, err)
@@ -166,6 +178,7 @@ func (c *Cluster) Failover() (*repl.Master, error) {
 	best.Srv.GroupCommitWindow = c.cfg.Pipeline.GroupCommitWindow
 	newMaster := repl.NewMaster(c.env, best.Srv, c.cloud.Network(), c.cfg.Mode)
 	newMaster.Pipeline = c.cfg.Pipeline
+	newMaster.SetTracer(c.tracer)
 	c.master = newMaster
 	c.slaves = nil
 	for _, old := range rest {
@@ -231,6 +244,7 @@ func (c *Cluster) snapshotProvision(spec NodeSpec) (*server.DBServer, uint64, er
 	inst := c.cloud.Launch(name, spec.Type, spec.Place)
 	srv := server.New(c.env, name, inst, c.cfg.Cost)
 	srv.PriorityApply = c.cfg.PriorityApply
+	srv.Tracer = c.tracer
 	pos := c.master.Srv.Log.LastSeq()
 	if err := srv.Eng.Restore(c.master.Srv.Eng.Snapshot()); err != nil {
 		return nil, 0, fmt.Errorf("cluster: provision %s: %w", name, err)

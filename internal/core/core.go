@@ -4,9 +4,15 @@
 // into the single object an application codes against — the architecture
 // the paper ports from a conventional data center onto cloud VMs.
 //
-//	db, _ := core.Open(clu, core.Options{Database: "app", ClientPlace: place})
+//	db := core.Open(clu,
+//		core.WithDatabase("app"),
+//		core.WithClientPlace(place),
+//		core.WithRetryPolicy(proxy.DefaultRetryPolicy()))
 //	db.Exec(p, "INSERT INTO t ...")   // routed to the master
 //	db.Query(p, "SELECT ...")         // balanced over the slaves
+//
+// The handle is configured with functional options (see options.go); the
+// deprecated Options struct in legacy.go remains as a shim.
 package core
 
 import (
@@ -16,6 +22,7 @@ import (
 
 	"cloudrepl/internal/cloud"
 	"cloudrepl/internal/cluster"
+	"cloudrepl/internal/obs"
 	"cloudrepl/internal/pool"
 	"cloudrepl/internal/proxy"
 	"cloudrepl/internal/repl"
@@ -23,55 +30,56 @@ import (
 	"cloudrepl/internal/sqlengine"
 )
 
-// Options configures a replicated database handle.
-type Options struct {
-	// Database is the default database for every connection.
-	Database string
-	// ClientPlace is where the application tier runs; every statement pays
-	// the network round trip from here to its backend.
-	ClientPlace cloud.Placement
-	// Balancer distributes reads over slaves (default round-robin).
-	Balancer proxy.Balancer
-	// ReadYourWrites enables per-connection session consistency: after a
-	// write, that connection's reads go only to slaves that have applied
-	// it (master fallback otherwise).
-	ReadYourWrites bool
-	// Retry configures client-side robustness (retry with backoff, slave
-	// eviction, statement timeouts, automatic master failover). The zero
-	// value keeps the legacy single-attempt behaviour; use
-	// proxy.DefaultRetryPolicy() for the chaos-hardened defaults. When
-	// Retry.FailoverOnMasterDown is set, the handle wires the proxy's
-	// master-failure hook to cluster promotion automatically.
-	Retry proxy.RetryPolicy
-	// Pool sizes the connection pool (default 64/64, wait forever).
-	Pool pool.Config
-}
-
 // DB is a replicated database handle.
 type DB struct {
-	clu  *cluster.Cluster
-	px   *proxy.Proxy
-	pool *pool.Pool[*proxy.Conn]
-	opts Options
+	clu    *cluster.Cluster
+	px     *proxy.Proxy
+	pool   *pool.Pool[*proxy.Conn]
+	cfg    config
+	tracer *obs.Tracer
+	reg    *obs.Registry
 }
 
 // Open wires a handle onto a running cluster.
-func Open(clu *cluster.Cluster, opts Options) *DB {
-	if opts.Pool.MaxActive == 0 {
-		opts.Pool = pool.Config{MaxActive: 64, MaxIdle: 64}
+func Open(clu *cluster.Cluster, opts ...Option) *DB {
+	var cfg config
+	for _, o := range opts {
+		if o != nil {
+			o(&cfg)
+		}
 	}
-	px := proxy.New(clu.Env(), clu.Cloud().Network(), clu.Master(), opts.ClientPlace, opts.Balancer)
-	px.ReadYourWrites = opts.ReadYourWrites
-	px.Retry = opts.Retry
-	if opts.Retry.FailoverOnMasterDown {
+	return openConfig(clu, cfg)
+}
+
+// openConfig is the single construction path shared by Open and the
+// deprecated OpenOptions shim.
+func openConfig(clu *cluster.Cluster, cfg config) *DB {
+	if cfg.pool.MaxActive == 0 {
+		cfg.pool = pool.Config{MaxActive: 64, MaxIdle: 64}
+	}
+	px := proxy.New(clu.Env(), clu.Cloud().Network(), clu.Master(), cfg.clientPlace, cfg.balancer)
+	px.ReadYourWrites = cfg.readYourWrites
+	px.Retry = cfg.retry
+	if cfg.retry.FailoverOnMasterDown {
 		px.OnMasterFailure = func(p *sim.Proc) (*repl.Master, error) {
 			return clu.Failover()
 		}
 	}
-	db := &DB{clu: clu, px: px, opts: opts}
-	db.pool = pool.New(clu.Env(), opts.Pool,
-		func() *proxy.Conn { return px.Connect(opts.Database) },
+	db := &DB{clu: clu, px: px, cfg: cfg, tracer: cfg.tracer, reg: cfg.registry}
+	if db.reg == nil {
+		db.reg = obs.NewRegistry()
+	}
+	// Reservoir sampling in registry histograms uses the env RNG (only once
+	// a histogram exceeds its cap, so short runs draw nothing extra).
+	db.reg.SetRand(clu.Env().Rand())
+	if cfg.tracer != nil {
+		px.Tracer = cfg.tracer
+		clu.SetTracer(cfg.tracer)
+	}
+	db.pool = pool.New(clu.Env(), cfg.pool,
+		func() *proxy.Conn { return px.Connect(cfg.database) },
 		nil)
+	db.pool.Tracer = cfg.tracer
 	return db
 }
 
@@ -84,15 +92,33 @@ func (db *DB) Proxy() *proxy.Proxy { return db.px }
 // Pool returns the connection pool.
 func (db *DB) Pool() *pool.Pool[*proxy.Conn] { return db.pool }
 
+// Registry returns the handle's metrics registry (always non-nil; the one
+// passed via WithMetrics, or the handle's own).
+func (db *DB) Registry() *obs.Registry { return db.reg }
+
 // Exec borrows a connection, routes and executes one statement, and returns
 // the connection to the pool. It must be called from a simulation process.
+// With tracing on it opens the root "client" span of the statement's trace;
+// end-to-end latency is always recorded into the registry's client.exec
+// histogram.
 func (db *DB) Exec(p *sim.Proc, sql string, args ...sqlengine.Value) (*proxy.ExecResult, error) {
+	sp := db.tracer.StartSpan(p, "client", "exec")
+	start := p.Now()
 	conn, err := db.pool.Borrow(p)
 	if err != nil {
+		db.reg.Counter("client.errors").Inc()
+		sp.SetAttr("error", "pool")
+		sp.End(p)
 		return nil, err
 	}
 	res, err := conn.Exec(p, sql, args...)
 	db.pool.Return(conn)
+	db.reg.Histogram("client.exec").Record(time.Duration(p.Now() - start))
+	if err != nil {
+		db.reg.Counter("client.errors").Inc()
+		sp.SetAttr("error", "exec")
+	}
+	sp.End(p)
 	return res, err
 }
 
@@ -137,47 +163,93 @@ func (db *DB) Staleness() Staleness {
 	return st
 }
 
-// ScaleOut adds a replica at the given placement (the elasticity the
-// application-managed approach exists for).
-func (db *DB) ScaleOut(spec cluster.NodeSpec) error {
-	_, err := db.clu.AddSlave(spec)
-	return err
-}
-
-// ErrNoSlaves is returned by ScaleBack when the cluster has no replica to
+// ErrNoSlaves is returned by scale-in when the cluster has no replica to
 // remove.
 var ErrNoSlaves = errors.New("core: no slave to remove")
 
-// ScaleIn removes the most-lagged replica immediately. The node is evicted
-// from the proxy's rotation before its instance terminates, so no *new*
-// read is ever routed to it — but reads already in flight when ScaleIn runs
-// will fail against the dead instance. Use ScaleBack from a simulation
-// process to also drain those.
+// ScaleOpts tunes DB.Scale.
+type ScaleOpts struct {
+	// Spec places replicas added on scale-out (zero value: a Small instance
+	// in the provider's default zone, like cluster.AddSlave).
+	Spec cluster.NodeSpec
+	// Drain bounds how long a graceful scale-in waits for in-flight reads on
+	// the departing replica (≤0 means 30 s). Ignored on immediate scale-in.
+	Drain time.Duration
+	// Victim pins the first replica removed on scale-in; nil removes the
+	// most-lagged one.
+	Victim *repl.Slave
+}
+
+// Scale is the unified elasticity surface: a positive delta adds replicas, a
+// negative delta removes them. With a non-nil process the removal is
+// graceful — the proxy stops routing new reads to the victim, in-flight
+// reads drain (bounded by opts.Drain), and only then is the node detached —
+// so a scale-in under load is invisible to clients. With p == nil removal is
+// immediate: no new read is routed to the victim, but reads already in
+// flight will fail against the dead instance and take the retry path.
+func (db *DB) Scale(p *sim.Proc, delta int, opts ScaleOpts) error {
+	for ; delta > 0; delta-- {
+		if _, err := db.clu.AddSlave(opts.Spec); err != nil {
+			return err
+		}
+	}
+	var firstErr error
+	for ; delta < 0; delta++ {
+		victim := opts.Victim
+		opts.Victim = nil // only the first removal is pinned
+		if victim == nil {
+			victim = db.mostLagged()
+		}
+		if victim == nil {
+			return ErrNoSlaves
+		}
+		if p == nil {
+			db.px.Quarantine(victim)
+			db.clu.RemoveSlave(victim)
+			db.px.Forget(victim)
+			continue
+		}
+		if err := db.removeGraceful(p, victim, opts.Drain); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// ScaleOut adds a replica at the given placement.
+//
+// Deprecated: use Scale(nil, 1, ScaleOpts{Spec: spec}).
+func (db *DB) ScaleOut(spec cluster.NodeSpec) error {
+	return db.Scale(nil, 1, ScaleOpts{Spec: spec})
+}
+
+// ScaleIn removes the most-lagged replica immediately.
+//
+// Deprecated: use Scale(nil, -1, ScaleOpts{}); from a simulation process
+// prefer a graceful Scale(p, -1, ...) which also drains in-flight reads.
 func (db *DB) ScaleIn() {
-	if worst := db.mostLagged(); worst != nil {
-		db.px.Quarantine(worst)
-		db.clu.RemoveSlave(worst)
-		db.px.Forget(worst)
-	}
+	_ = db.Scale(nil, -1, ScaleOpts{})
 }
 
-// ScaleBack gracefully removes the most-lagged replica: the proxy stops
-// routing new reads to it, in-flight reads drain (bounded by drainTimeout;
-// ≤0 means 30 s), and only then is the node detached and its instance
-// terminated — so a scale-in under load is invisible to clients. It must be
-// called from a simulation process.
+// ScaleBack gracefully removes the most-lagged replica.
+//
+// Deprecated: use Scale(p, -1, ScaleOpts{Drain: drainTimeout}).
 func (db *DB) ScaleBack(p *sim.Proc, drainTimeout time.Duration) error {
-	worst := db.mostLagged()
-	if worst == nil {
-		return ErrNoSlaves
-	}
-	return db.RemoveSlaveGraceful(p, worst, drainTimeout)
+	return db.Scale(p, -1, ScaleOpts{Drain: drainTimeout})
 }
 
-// RemoveSlaveGraceful is ScaleBack for a caller-chosen replica. On drain
-// timeout the node is terminated anyway (in-flight reads on it will error
-// and take the retry path) and an error reports the abandonment.
+// RemoveSlaveGraceful is a graceful scale-in of a caller-chosen replica.
+//
+// Deprecated: use Scale(p, -1, ScaleOpts{Victim: sl, Drain: drainTimeout}).
 func (db *DB) RemoveSlaveGraceful(p *sim.Proc, sl *repl.Slave, drainTimeout time.Duration) error {
+	return db.Scale(p, -1, ScaleOpts{Victim: sl, Drain: drainTimeout})
+}
+
+// removeGraceful quarantines sl, waits for its in-flight reads to drain
+// (bounded by drainTimeout; ≤0 means 30 s) and detaches it. On drain timeout
+// the node is terminated anyway (in-flight reads on it will error and take
+// the retry path) and an error reports the abandonment.
+func (db *DB) removeGraceful(p *sim.Proc, sl *repl.Slave, drainTimeout time.Duration) error {
 	if drainTimeout <= 0 {
 		drainTimeout = 30 * time.Second
 	}
@@ -286,6 +358,19 @@ type Stats struct {
 // pipeline counters.
 func (db *DB) Stats() Stats {
 	return Stats{Proxy: db.px.Stats(), Pool: db.pool.Stats(), Repl: db.clu.Master().Stats()}
+}
+
+// Metrics publishes every attached component's counters into the registry
+// and returns the flattened snapshot (name → value) that the bench JSON
+// output embeds. Proxy, pool and replication metrics are published here;
+// external publishers (chaos, elastic) share the same registry via
+// Registry().
+func (db *DB) Metrics() map[string]float64 {
+	db.px.PublishMetrics(db.reg)
+	db.pool.PublishMetrics(db.reg)
+	db.clu.Master().PublishMetrics(db.reg)
+	db.reg.Gauge("repl.max_events_behind").Set(float64(db.Staleness().MaxEvents))
+	return db.reg.Snapshot()
 }
 
 // Close shuts the connection pool; the cluster keeps running (databases

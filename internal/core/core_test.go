@@ -7,7 +7,6 @@ import (
 	"cloudrepl/internal/cloud"
 	"cloudrepl/internal/cluster"
 	"cloudrepl/internal/pool"
-	"cloudrepl/internal/proxy"
 	"cloudrepl/internal/repl"
 	"cloudrepl/internal/server"
 	"cloudrepl/internal/sim"
@@ -27,7 +26,7 @@ func preload(srv *server.DBServer) error {
 	return nil
 }
 
-func newDB(t *testing.T, seed int64, nSlaves int, opts Options) (*sim.Env, *DB) {
+func newDB(t *testing.T, seed int64, nSlaves int, opts ...Option) (*sim.Env, *DB) {
 	t.Helper()
 	env := sim.NewEnv(seed)
 	c := cloud.New(env, cloud.Config{})
@@ -46,15 +45,12 @@ func newDB(t *testing.T, seed int64, nSlaves int, opts Options) (*sim.Env, *DB) 
 	if err != nil {
 		t.Fatal(err)
 	}
-	if opts.Database == "" {
-		opts.Database = "app"
-	}
-	opts.ClientPlace = place
-	return env, Open(clu, opts)
+	all := append([]Option{WithDatabase("app"), WithClientPlace(place)}, opts...)
+	return env, Open(clu, all...)
 }
 
 func TestExecAndQueryEndToEnd(t *testing.T) {
-	env, db := newDB(t, 1, 2, Options{})
+	env, db := newDB(t, 1, 2)
 	env.Go("app", func(p *sim.Proc) {
 		if _, err := db.Exec(p, "INSERT INTO t (id, v) VALUES (1, 'hello')"); err != nil {
 			t.Errorf("exec: %v", err)
@@ -79,7 +75,7 @@ func TestExecAndQueryEndToEnd(t *testing.T) {
 }
 
 func TestPoolBoundsConcurrency(t *testing.T) {
-	env, db := newDB(t, 2, 1, Options{Pool: pool.Config{MaxActive: 2, MaxIdle: 2}})
+	env, db := newDB(t, 2, 1, WithPool(pool.Config{MaxActive: 2, MaxIdle: 2}))
 	done := 0
 	for i := 0; i < 6; i++ {
 		i := i
@@ -107,7 +103,7 @@ func TestPoolBoundsConcurrency(t *testing.T) {
 }
 
 func TestStalenessReporting(t *testing.T) {
-	env, db := newDB(t, 3, 2, Options{})
+	env, db := newDB(t, 3, 2)
 	// Freeze one slave's applier so staleness accumulates.
 	db.Cluster().Slaves()[0].Stop()
 	env.Go("app", func(p *sim.Proc) {
@@ -129,7 +125,7 @@ func TestStalenessReporting(t *testing.T) {
 }
 
 func TestScaleOutAndIn(t *testing.T) {
-	env, db := newDB(t, 4, 1, Options{})
+	env, db := newDB(t, 4, 1)
 	env.Go("app", func(p *sim.Proc) {
 		if err := db.ScaleOut(cluster.NodeSpec{Place: cloud.Placement{Region: cloud.USWest1, Zone: "b"}}); err != nil {
 			t.Errorf("scale out: %v", err)
@@ -149,7 +145,7 @@ func TestScaleOutAndIn(t *testing.T) {
 }
 
 func TestFailoverRepointsProxy(t *testing.T) {
-	env, db := newDB(t, 5, 2, Options{})
+	env, db := newDB(t, 5, 2)
 	env.Go("app", func(p *sim.Proc) {
 		db.Exec(p, "INSERT INTO t (id, v) VALUES (1, 'pre')")
 		db.WaitCaughtUp(p, time.Minute)
@@ -177,7 +173,7 @@ func TestFailoverRepointsProxy(t *testing.T) {
 }
 
 func TestStalenessBoundedOptionIntegration(t *testing.T) {
-	env, db := newDB(t, 6, 1, Options{Balancer: &proxy.StalenessBounded{MaxEventsBehind: 0}})
+	env, db := newDB(t, 6, 1, WithStalenessBound(0))
 	db.Cluster().Slaves()[0].Stop()
 	env.Go("app", func(p *sim.Proc) {
 		db.Exec(p, "INSERT INTO t (id, v) VALUES (1, 'x')")
@@ -199,7 +195,7 @@ func TestStalenessBoundedOptionIntegration(t *testing.T) {
 }
 
 func TestValidateInstances(t *testing.T) {
-	env, db := newDB(t, 7, 2, Options{})
+	env, db := newDB(t, 7, 2)
 	var reports []InstanceReport
 	env.Go("validate", func(p *sim.Proc) {
 		reports = db.ValidateInstances(p, 5)
@@ -216,7 +212,7 @@ func TestValidateInstances(t *testing.T) {
 }
 
 func TestStatsAndClose(t *testing.T) {
-	env, db := newDB(t, 8, 1, Options{})
+	env, db := newDB(t, 8, 1)
 	env.Go("app", func(p *sim.Proc) {
 		db.Exec(p, "INSERT INTO t (id, v) VALUES (1, 'x')")
 		db.Query(p, "SELECT COUNT(*) FROM t")
@@ -238,7 +234,7 @@ func TestStatsAndClose(t *testing.T) {
 }
 
 func TestReadYourWritesOption(t *testing.T) {
-	env, db := newDB(t, 9, 1, Options{ReadYourWrites: true})
+	env, db := newDB(t, 9, 1, WithReadYourWrites())
 	db.Cluster().Slaves()[0].Stop() // slave lags forever
 	env.Go("app", func(p *sim.Proc) {
 		db.Exec(p, "INSERT INTO t (id, v) VALUES (1, 'x')")
@@ -263,7 +259,7 @@ func TestReadYourWritesOption(t *testing.T) {
 // proxy and drain its in-flight reads before the instance terminates, so
 // clients never observe a read failing against a dying node.
 func TestScaleBackDrainsInflightReads(t *testing.T) {
-	env, db := newDB(t, 21, 2, Options{})
+	env, db := newDB(t, 21, 2)
 	const end = 2 * time.Minute
 
 	env.Go("seed", func(p *sim.Proc) {
@@ -313,7 +309,7 @@ func TestScaleBackDrainsInflightReads(t *testing.T) {
 // TestRemoveSlaveGracefulTimesOut: with a tiny drain budget and reads in
 // flight, the removal must still complete but report the abandonment.
 func TestRemoveSlaveGracefulTimesOut(t *testing.T) {
-	env, db := newDB(t, 22, 1, Options{})
+	env, db := newDB(t, 22, 1)
 	sl := db.Cluster().Slaves()[0]
 
 	env.Go("seed", func(p *sim.Proc) {

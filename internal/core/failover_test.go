@@ -13,7 +13,7 @@ import (
 // the master mid-traffic promotes a slave through the proxy's failover
 // hook; client writes keep succeeding with no surfaced errors.
 func TestAutomaticFailoverOnMasterCrash(t *testing.T) {
-	env, db := newDB(t, 31, 2, Options{Retry: proxy.DefaultRetryPolicy()})
+	env, db := newDB(t, 31, 2, WithRetryPolicy(proxy.DefaultRetryPolicy()))
 	var failed int
 	written := 0
 	env.Go("app", func(p *sim.Proc) {
@@ -56,7 +56,7 @@ func TestAutomaticFailoverOnMasterCrash(t *testing.T) {
 // TestZeroRetryOptionPreservesLegacyFailure: without a retry policy a dead
 // master still surfaces ErrNoBackend (no hidden failover).
 func TestZeroRetryOptionPreservesLegacyFailure(t *testing.T) {
-	env, db := newDB(t, 32, 1, Options{})
+	env, db := newDB(t, 32, 1)
 	db.Cluster().Master().Srv.Inst.Terminate()
 	var err error
 	env.Go("app", func(p *sim.Proc) {

@@ -1,0 +1,44 @@
+package core
+
+import (
+	"cloudrepl/internal/cloud"
+	"cloudrepl/internal/cluster"
+	"cloudrepl/internal/pool"
+	"cloudrepl/internal/proxy"
+)
+
+// Options is the legacy struct-based Open configuration.
+//
+// Deprecated: use Open with functional options (WithDatabase, WithBalancer,
+// WithRetryPolicy, ...). This shim remains so existing callers keep
+// compiling; it cannot express the observability knobs (WithTracer,
+// WithMetrics).
+type Options struct {
+	// Database is the default database for every connection.
+	Database string
+	// ClientPlace is where the application tier runs.
+	ClientPlace cloud.Placement
+	// Balancer distributes reads over slaves (default round-robin).
+	Balancer proxy.Balancer
+	// ReadYourWrites enables per-connection session consistency.
+	ReadYourWrites bool
+	// Retry configures client-side robustness.
+	Retry proxy.RetryPolicy
+	// Pool sizes the connection pool (default 64/64, wait forever).
+	Pool pool.Config
+}
+
+// OpenOptions wires a handle onto a running cluster from the legacy Options
+// struct.
+//
+// Deprecated: use Open(clu, core.WithDatabase(...), ...).
+func OpenOptions(clu *cluster.Cluster, opts Options) *DB {
+	return openConfig(clu, config{
+		database:       opts.Database,
+		clientPlace:    opts.ClientPlace,
+		balancer:       opts.Balancer,
+		readYourWrites: opts.ReadYourWrites,
+		retry:          opts.Retry,
+		pool:           opts.Pool,
+	})
+}

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"cloudrepl/internal/cloud"
+	"cloudrepl/internal/cluster"
+	"cloudrepl/internal/pool"
+	"cloudrepl/internal/repl"
+	"cloudrepl/internal/server"
+	"cloudrepl/internal/sim"
+)
+
+// TestOpenOptionsShim keeps the deprecated struct-based entry point working:
+// a handle opened through OpenOptions must behave exactly like one opened
+// through the functional-options Open it delegates to.
+func TestOpenOptionsShim(t *testing.T) {
+	env := sim.NewEnv(1)
+	c := cloud.New(env, cloud.Config{})
+	place := cloud.Placement{Region: cloud.USWest1, Zone: "a"}
+	clu, err := cluster.New(env, c, cluster.Config{
+		Mode:    repl.Async,
+		Cost:    server.DefaultCostModel(),
+		Master:  cluster.NodeSpec{Place: place},
+		Slaves:  []cluster.NodeSpec{{Place: place}},
+		Preload: preload,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := OpenOptions(clu, Options{
+		Database:       "app",
+		ClientPlace:    place,
+		ReadYourWrites: true,
+		Pool:           pool.Config{MaxActive: 4, MaxIdle: 4},
+	})
+	env.Go("app", func(p *sim.Proc) {
+		if _, err := db.Exec(p, "INSERT INTO t (id, v) VALUES (1, 'legacy')"); err != nil {
+			t.Errorf("exec: %v", err)
+			return
+		}
+		set, err := db.Query(p, "SELECT v FROM t WHERE id = 1")
+		if err != nil {
+			t.Errorf("query: %v", err)
+			return
+		}
+		if len(set.Rows) != 1 || set.Rows[0][0].Str() != "legacy" {
+			t.Errorf("read-your-writes through the shim returned %v", set.Rows)
+		}
+	})
+	env.RunUntil(time.Minute)
+	env.Stop()
+	env.Shutdown()
+
+	// The shim cannot set a tracer, but the registry must still exist so
+	// Metrics() works on legacy handles.
+	if db.Registry() == nil {
+		t.Fatal("legacy handle has no registry")
+	}
+	if db.Metrics()["proxy.writes"] != 1 {
+		t.Fatalf("metrics through the shim: %v", db.Metrics()["proxy.writes"])
+	}
+}

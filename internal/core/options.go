@@ -1,0 +1,86 @@
+package core
+
+import (
+	"cloudrepl/internal/cloud"
+	"cloudrepl/internal/obs"
+	"cloudrepl/internal/pool"
+	"cloudrepl/internal/proxy"
+)
+
+// Option configures a replicated database handle at Open. Options compose
+// left to right; a later option overrides an earlier one for the same knob.
+type Option func(*config)
+
+// config is the accumulated Open configuration. It stays private so the
+// option set can grow without breaking callers.
+type config struct {
+	database       string
+	clientPlace    cloud.Placement
+	balancer       proxy.Balancer
+	readYourWrites bool
+	retry          proxy.RetryPolicy
+	pool           pool.Config
+	tracer         *obs.Tracer
+	registry       *obs.Registry
+}
+
+// WithDatabase sets the default database for every connection.
+func WithDatabase(name string) Option {
+	return func(c *config) { c.database = name }
+}
+
+// WithClientPlace sets where the application tier runs; every statement pays
+// the network round trip from there to its backend.
+func WithClientPlace(p cloud.Placement) Option {
+	return func(c *config) { c.clientPlace = p }
+}
+
+// WithBalancer sets the read balancer (default round-robin).
+func WithBalancer(b proxy.Balancer) Option {
+	return func(c *config) { c.balancer = b }
+}
+
+// WithReadYourWrites enables per-connection session consistency: after a
+// write, that connection's reads go only to slaves that have applied it
+// (master fallback otherwise).
+func WithReadYourWrites() Option {
+	return func(c *config) { c.readYourWrites = true }
+}
+
+// WithStalenessBound routes reads only to slaves within maxEvents binlog
+// events of the master, falling back to the master otherwise. It is shorthand
+// for WithBalancer(&proxy.StalenessBounded{MaxEventsBehind: maxEvents}).
+func WithStalenessBound(maxEvents uint64) Option {
+	return func(c *config) { c.balancer = &proxy.StalenessBounded{MaxEventsBehind: maxEvents} }
+}
+
+// WithRetryPolicy configures client-side robustness (retry with backoff,
+// slave eviction, statement timeouts, automatic master failover). Without it
+// the handle keeps the legacy single-attempt behaviour; use
+// proxy.DefaultRetryPolicy() for the chaos-hardened defaults. When the
+// policy's FailoverOnMasterDown is set, the handle wires the proxy's
+// master-failure hook to cluster promotion automatically.
+func WithRetryPolicy(rp proxy.RetryPolicy) Option {
+	return func(c *config) { c.retry = rp }
+}
+
+// WithPool sizes the connection pool (default 64/64, wait forever).
+func WithPool(cfg pool.Config) Option {
+	return func(c *config) { c.pool = cfg }
+}
+
+// WithTracer wires tr through the whole data path — client handle, pool,
+// proxy, cluster servers and replication threads — so every statement's
+// causal chain is recorded as one trace. Tracing is off (and free) without
+// this option.
+func WithTracer(tr *obs.Tracer) Option {
+	return func(c *config) { c.tracer = tr }
+}
+
+// WithMetrics attaches a metrics registry: the handle records client-side
+// latency and errors into it live, and DB.Metrics snapshots every
+// component's counters through it. Without this option DB.Metrics allocates
+// a registry on first use.
+func WithMetrics(reg *obs.Registry) Option {
+	return func(c *config) { c.registry = reg }
+}

@@ -2,9 +2,11 @@ package elastic
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"cloudrepl/internal/cluster"
+	"cloudrepl/internal/obs"
 	"cloudrepl/internal/repl"
 	"cloudrepl/internal/sim"
 )
@@ -175,6 +177,32 @@ func (c *Controller) Trace() []Sample { return c.trace }
 
 // Decisions returns the decision log.
 func (c *Controller) Decisions() []Decision { return c.decisions }
+
+// PublishMetrics snapshots the controller's scaling activity into reg under
+// the "elastic." prefix: one counter per decision kind, plus a master-bound
+// flag gauge.
+func (c *Controller) PublishMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	counts := map[string]int{}
+	for _, d := range c.decisions {
+		counts[d.Action]++
+	}
+	// Fixed action vocabulary (see Decision.Action) so the published set
+	// of names does not depend on which decisions happened to fire.
+	for _, action := range []string{"scale-out", "admit", "scale-in",
+		"drained", "master-bound", "rollback", "provision-failed"} {
+		name := "elastic." + strings.ReplaceAll(action, "-", "_")
+		reg.Counter(name).Set(float64(counts[action]))
+	}
+	bound, _, _ := c.MasterBound()
+	v := 0.0
+	if bound {
+		v = 1
+	}
+	reg.Gauge("elastic.is_master_bound").Set(v)
+}
 
 // MasterBound reports whether the controller has declared the tier
 // master-bound, and when and at what admitted fleet size it did.

@@ -48,7 +48,7 @@ func newTier(t *testing.T, seed int64, nSlaves int) (*sim.Env, *cluster.Cluster,
 	if err != nil {
 		t.Fatal(err)
 	}
-	return env, clu, core.Open(clu, core.Options{Database: "app", ClientPlace: place})
+	return env, clu, core.Open(clu, core.WithDatabase("app"), core.WithClientPlace(place))
 }
 
 func hasDecision(ds []Decision, action string) bool {

@@ -316,7 +316,7 @@ func AblationArchitectures(opts SweepOpts) ([]ArchResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		db := core.Open(clu, core.Options{Database: "bench", ClientPlace: place})
+		db := core.Open(clu, core.WithDatabase("bench"), core.WithClientPlace(place))
 		res := runArchLoad(env, users, ratio, think, warm, measure,
 			func(p *sim.Proc, i int) (time.Duration, error) {
 				t0 := p.Now()

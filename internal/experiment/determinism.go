@@ -95,3 +95,20 @@ func PipelineDeterminism(opts SweepOpts, quick bool) error {
 		return PipelineJSON(r), nil
 	})
 }
+
+// TraceDeterminism runs the traced pipeline point twice with one seed and
+// byte-compares the Chrome trace export together with the metrics snapshot:
+// span IDs, virtual timestamps and registry values must all be identical
+// run to run, or tracing has leaked nondeterminism into the simulation.
+func TraceDeterminism(opts SweepOpts) error {
+	return CheckDeterminism("A-TRACE", func() (any, error) {
+		r, err := TraceRun(opts)
+		if err != nil {
+			return nil, err
+		}
+		return struct {
+			Trace   json.RawMessage    `json:"trace"`
+			Metrics map[string]float64 `json:"metrics"`
+		}{json.RawMessage(r.TraceJSON), r.Metrics}, nil
+	})
+}

@@ -49,6 +49,9 @@ type ElasticFleetResult struct {
 	// seconds; ThroughputSeries samples cumulative completed operations.
 	SlavesSeries     *metrics.TimeSeries
 	ThroughputSeries *metrics.TimeSeries
+	// Metrics is the arm's obs.Registry snapshot (client latency, proxy
+	// and pool counters, the controller's scaling activity).
+	Metrics map[string]float64
 }
 
 // ElasticResult is the A-ELASTIC ablation output: the same 50/50 load ramp
@@ -142,11 +145,10 @@ func runElasticArm(seed int64, arm elasticArm, stages []cloudstone.Stage, sloMs 
 			maxUsers = s.Users
 		}
 	}
-	db := core.Open(clu, core.Options{
-		Database:    cloudstone.DatabaseName,
-		ClientPlace: MasterPlacement,
-		Pool:        pool.Config{MaxActive: maxUsers + 8, MaxIdle: maxUsers + 8},
-	})
+	db := core.Open(clu,
+		core.WithDatabase(cloudstone.DatabaseName),
+		core.WithClientPlace(MasterPlacement),
+		core.WithPool(pool.Config{MaxActive: maxUsers + 8, MaxIdle: maxUsers + 8}))
 	hb := heartbeat.Start(env, clu.Master(), time.Second)
 
 	driver := cloudstone.NewDriver(db, cloudstone.Config{
@@ -224,6 +226,8 @@ func runElasticArm(seed int64, arm elasticArm, stages []cloudstone.Stage, sloMs 
 	dres := driver.Result()
 	fr.Throughput = dres.Throughput
 	fr.Errors = dres.Errors
+	ctrl.PublishMetrics(db.Registry())
+	fr.Metrics = db.Metrics()
 
 	ctrl.Stop()
 	hb.Stop()

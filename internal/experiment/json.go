@@ -40,6 +40,10 @@ type runRow struct {
 	LatencyMs      float64 `json:"latency_ms"`
 	WriteLatencyMs float64 `json:"write_latency_ms"`
 	Errors         int     `json:"errors"`
+	// Metrics is the end-of-run registry snapshot (component counters keyed
+	// "<component>.<metric>"); map marshaling is deterministic because
+	// encoding/json sorts keys.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 func newRunRow(res RunResult) runRow {
@@ -53,6 +57,7 @@ func newRunRow(res RunResult) runRow {
 		LatencyMs:      res.LatencyMsMean,
 		WriteLatencyMs: res.WriteLatencyMsMean,
 		Errors:         res.Errors,
+		Metrics:        res.Metrics,
 	}
 }
 

@@ -17,6 +17,7 @@ import (
 	"cloudrepl/internal/core"
 	"cloudrepl/internal/heartbeat"
 	"cloudrepl/internal/metrics"
+	"cloudrepl/internal/obs"
 	"cloudrepl/internal/pool"
 	"cloudrepl/internal/proxy"
 	"cloudrepl/internal/repl"
@@ -95,6 +96,11 @@ type RunSpec struct {
 	// shipping, parallel apply); the zero value is the classic path the
 	// paper measured (A-PIPELINE sweeps this).
 	Pipeline repl.PipelineConfig
+	// Trace enables end-to-end tracing: every statement's causal chain —
+	// client, pool, proxy, server, binlog, slave apply — is recorded as
+	// spans on the virtual timeline and exported as Chrome trace-event JSON
+	// in RunResult.TraceJSON.
+	Trace bool
 }
 
 func (s *RunSpec) applyDefaults() {
@@ -177,6 +183,13 @@ type RunResult struct {
 	// ChaosLog and ChaosCounters record what the injector actually did.
 	ChaosLog      []chaos.Applied
 	ChaosCounters chaos.Counters
+
+	// Metrics is the end-of-run registry snapshot: every middleware
+	// component's counters flattened to "<component>.<metric>".
+	Metrics map[string]float64
+
+	// TraceJSON is the Chrome trace-event export (Trace runs only).
+	TraceJSON []byte
 }
 
 // Run executes one experiment point on its own simulation environment.
@@ -235,16 +248,23 @@ func Run(spec RunSpec) (RunResult, error) {
 	if spec.Balancer != nil {
 		balancer = spec.Balancer()
 	}
-	coreOpts := core.Options{
-		Database:    cloudstone.DatabaseName,
-		ClientPlace: MasterPlacement,
-		Balancer:    balancer,
-		Pool:        pool.Config{MaxActive: spec.Users + 8, MaxIdle: spec.Users + 8},
+	var tracer *obs.Tracer
+	if spec.Trace {
+		tracer = obs.NewTracer(env)
+	}
+	coreOpts := []core.Option{
+		core.WithDatabase(cloudstone.DatabaseName),
+		core.WithClientPlace(MasterPlacement),
+		core.WithBalancer(balancer),
+		core.WithPool(pool.Config{MaxActive: spec.Users + 8, MaxIdle: spec.Users + 8}),
 	}
 	if spec.Retry != nil {
-		coreOpts.Retry = *spec.Retry
+		coreOpts = append(coreOpts, core.WithRetryPolicy(*spec.Retry))
 	}
-	db := core.Open(clu, coreOpts)
+	if tracer != nil {
+		coreOpts = append(coreOpts, core.WithTracer(tracer))
+	}
+	db := core.Open(clu, coreOpts...)
 
 	inj := chaos.Start(env, c, spec.Chaos)
 
@@ -352,6 +372,16 @@ func Run(spec RunSpec) (RunResult, error) {
 			res.AvgDelayMs = sum / float64(len(res.PerSlaveDelayMs))
 		}
 		res.P95DelayMs = metrics.Quantile(pooled, 0.95)
+	}
+
+	inj.PublishMetrics(db.Registry())
+	res.Metrics = db.Metrics()
+	if tracer != nil {
+		tj, err := tracer.ExportJSON()
+		if err != nil {
+			return res, fmt.Errorf("experiment: trace export: %w", err)
+		}
+		res.TraceJSON = tj
 	}
 
 	env.Stop()

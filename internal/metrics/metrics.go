@@ -7,6 +7,7 @@ package metrics
 import (
 	"fmt"
 	"math"
+	"math/rand"
 	"sort"
 	"time"
 )
@@ -113,16 +114,79 @@ func Quantile(xs []float64, q float64) float64 {
 	return quantileSorted(sorted, q)
 }
 
-// Histogram collects durations.
+// DefaultHistogramCap bounds how many samples a Histogram retains. It is
+// large enough that the quick-protocol experiments keep every sample, while
+// a long run — which used to grow the slice without bound — degrades to a
+// uniform reservoir of this size.
+const DefaultHistogramCap = 32768
+
+// Histogram collects durations. Up to its cap (SetCap, default
+// DefaultHistogramCap) every sample is retained; past it, reservoir
+// sampling (Algorithm R) keeps a uniform subsample of everything recorded,
+// so memory stays bounded on arbitrarily long runs and quantiles remain
+// unbiased estimates. Replacement draws come from the RNG injected with
+// SetRand — thread the simulation env's generator through so eviction
+// choices live on the run's seeded random stream — or, for a zero-value
+// Histogram, from an internal fixed-seed splitmix64 sequence; either way
+// the same inputs reproduce the same reservoir.
 type Histogram struct {
 	samples []time.Duration
+	total   uint64 // samples recorded, including those evicted
+	cap     int    // 0 = DefaultHistogramCap
+	rng     *rand.Rand
+	fb      uint64 // fallback splitmix64 state when rng is nil
 }
 
-// Record adds one sample.
-func (h *Histogram) Record(d time.Duration) { h.samples = append(h.samples, d) }
+// SetCap sets the reservoir size (0 restores the default). Set it before
+// recording; shrinking an over-full reservoir is not supported.
+func (h *Histogram) SetCap(n int) { h.cap = n }
 
-// N returns the sample count.
+// SetRand injects the reservoir's RNG (nil keeps the deterministic
+// fixed-seed fallback).
+func (h *Histogram) SetRand(rng *rand.Rand) { h.rng = rng }
+
+// Record adds one sample, evicting a uniformly-chosen earlier sample once
+// the reservoir is full.
+func (h *Histogram) Record(d time.Duration) {
+	h.total++
+	c := h.cap
+	if c <= 0 {
+		c = DefaultHistogramCap
+	}
+	if len(h.samples) < c {
+		h.samples = append(h.samples, d)
+		return
+	}
+	// Algorithm R: the i-th sample replaces a random reservoir slot with
+	// probability cap/i, implemented as a uniform index into [0, i).
+	if j := h.randInt64(int64(h.total)); j < int64(len(h.samples)) {
+		h.samples[j] = d
+	}
+}
+
+// randInt64 returns a uniform draw in [0, n): the injected RNG when set,
+// else a fixed-seed splitmix64 step (the modulo bias at n ≪ 2⁶⁴ is
+// far below sampling noise).
+func (h *Histogram) randInt64(n int64) int64 {
+	if h.rng != nil {
+		return h.rng.Int63n(n)
+	}
+	h.fb += 0x9e3779b97f4a7c15
+	z := h.fb
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z % uint64(n))
+}
+
+// N returns the retained sample count (≤ the cap).
 func (h *Histogram) N() int { return len(h.samples) }
+
+// Total returns how many samples were ever recorded, including those the
+// reservoir evicted.
+func (h *Histogram) Total() uint64 { return h.total }
 
 // Samples returns the raw samples.
 func (h *Histogram) Samples() []time.Duration { return h.samples }
@@ -150,8 +214,11 @@ func (h *Histogram) Percentile(q float64) time.Duration {
 	return sorted[idx]
 }
 
-// Reset discards all samples.
-func (h *Histogram) Reset() { h.samples = h.samples[:0] }
+// Reset discards all samples and the recorded total.
+func (h *Histogram) Reset() {
+	h.samples = h.samples[:0]
+	h.total = 0
+}
 
 // Point is one time-series observation.
 type Point struct {

@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+)
+
+// TraceEvent is one Chrome trace-event (the chrome://tracing / Perfetto
+// JSON format). Spans export as complete events (ph "X") with microsecond
+// timestamps on the virtual timeline; process names export as metadata
+// events (ph "M").
+type TraceEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat,omitempty"`
+	Ph   string            `json:"ph"`
+	TS   float64           `json:"ts"`
+	Dur  float64           `json:"dur,omitempty"`
+	PID  int               `json:"pid"`
+	TID  uint64            `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// TraceFile is the top-level Chrome trace JSON object.
+type TraceFile struct {
+	TraceEvents     []TraceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+	// OrphanSpans counts spans started but never ended (ignored by trace
+	// viewers; the summary tool reports it).
+	OrphanSpans int `json:"orphanSpans"`
+}
+
+// ExportJSON encodes every ended span as Chrome trace-event JSON. Spans are
+// emitted in creation order with IDs rendered as fixed-width hex, so one
+// seed yields a byte-identical file.
+func (tr *Tracer) ExportJSON() ([]byte, error) {
+	f := TraceFile{DisplayTimeUnit: "ms", OrphanSpans: tr.Orphans()}
+
+	// One thread_name metadata event per process, in first-seen order.
+	seen := map[uint64]bool{}
+	for _, sp := range tr.spans {
+		if seen[sp.ProcID] {
+			continue
+		}
+		seen[sp.ProcID] = true
+		f.TraceEvents = append(f.TraceEvents, TraceEvent{
+			Name: "thread_name", Ph: "M", PID: 1, TID: sp.ProcID,
+			Args: map[string]string{"name": sp.Proc},
+		})
+	}
+
+	for _, sp := range tr.spans {
+		if !sp.ended {
+			continue
+		}
+		args := map[string]string{
+			"trace": hexID(sp.Trace),
+			"span":  hexID(sp.ID),
+		}
+		if sp.Parent != 0 {
+			args["parent"] = hexID(sp.Parent)
+		}
+		for _, a := range sp.attrs {
+			args[a.Key] = a.Value
+		}
+		f.TraceEvents = append(f.TraceEvents, TraceEvent{
+			Name: sp.Name,
+			Cat:  sp.Stage,
+			Ph:   "X",
+			TS:   micros(time.Duration(sp.Start)),
+			Dur:  micros(sp.Dur),
+			PID:  1,
+			TID:  sp.ProcID,
+			Args: args,
+		})
+	}
+	return json.MarshalIndent(f, "", " ")
+}
+
+// ParsedSpan is one span recovered from an exported trace file — what the
+// cloudrepl-trace summary tool works on.
+type ParsedSpan struct {
+	Name   string
+	Stage  string
+	TSUs   float64 // start, µs of virtual time
+	DurUs  float64
+	TID    uint64
+	Trace  uint64
+	ID     uint64
+	Parent uint64
+	Attrs  map[string]string
+}
+
+// EndUs is the span's end timestamp in µs.
+func (s ParsedSpan) EndUs() float64 { return s.TSUs + s.DurUs }
+
+// DurMs is the span's duration in milliseconds.
+func (s ParsedSpan) DurMs() float64 { return s.DurUs / 1000 }
+
+// ParseTrace decodes a Chrome trace file written by ExportJSON back into
+// spans (metadata events are skipped).
+func ParseTrace(data []byte) ([]ParsedSpan, error) {
+	var f TraceFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("obs: parse trace: %w", err)
+	}
+	var out []ParsedSpan
+	for _, ev := range f.TraceEvents {
+		if ev.Ph != "X" {
+			continue
+		}
+		sp := ParsedSpan{
+			Name: ev.Name, Stage: ev.Cat,
+			TSUs: ev.TS, DurUs: ev.Dur, TID: ev.TID,
+			Attrs: ev.Args,
+		}
+		var err error
+		if sp.Trace, err = parseHexID(ev.Args["trace"]); err != nil {
+			return nil, fmt.Errorf("obs: span %q: %w", ev.Name, err)
+		}
+		if sp.ID, err = parseHexID(ev.Args["span"]); err != nil {
+			return nil, fmt.Errorf("obs: span %q: %w", ev.Name, err)
+		}
+		if p := ev.Args["parent"]; p != "" {
+			if sp.Parent, err = parseHexID(p); err != nil {
+				return nil, fmt.Errorf("obs: span %q: %w", ev.Name, err)
+			}
+		}
+		out = append(out, sp)
+	}
+	return out, nil
+}
+
+func hexID(v uint64) string { return fmt.Sprintf("0x%016x", v) }
+
+func parseHexID(s string) (uint64, error) {
+	var v uint64
+	if _, err := fmt.Sscanf(s, "0x%x", &v); err != nil {
+		return 0, fmt.Errorf("bad span id %q", s)
+	}
+	return v, nil
+}
+
+// micros renders a duration as trace-event microseconds.
+func micros(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }

@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"math/rand"
+	"sort"
+
+	"cloudrepl/internal/metrics"
+)
+
+// Counter is a monotone count. Publishers that snapshot an existing total
+// at the end of a run use Set; live instrumentation uses Add/Inc.
+type Counter struct{ v float64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v++ }
+
+// Add adds d.
+func (c *Counter) Add(d float64) { c.v += d }
+
+// Set replaces the count — snapshot-style publishing of a counter that is
+// maintained elsewhere (idempotent when publishing runs more than once).
+func (c *Counter) Set(v float64) { c.v = v }
+
+// Value returns the current count.
+func (c *Counter) Value() float64 { return c.v }
+
+// Gauge is a point-in-time value.
+type Gauge struct{ v float64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) { g.v = v }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return g.v }
+
+// Registry is the central named-metric store the middleware publishes into:
+// counters, gauges and (reservoir-sampled) duration histograms, snapshotted
+// into the bench's -json output. Metric names are dotted lowercase,
+// "<component>.<metric>" — e.g. "proxy.retries", "pool.waits",
+// "client.exec". The zero Registry is not usable; call NewRegistry.
+type Registry struct {
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*metrics.Histogram
+	rng      *rand.Rand
+}
+
+// NewRegistry creates an empty registry. It draws no randomness at
+// construction; histogram reservoirs use the generator injected with
+// SetRand (core.Open threads the simulation env's RNG through).
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*metrics.Histogram),
+	}
+}
+
+// SetRand injects the RNG new histograms sample their reservoirs with,
+// keeping eviction choices on the env-threaded random stream. Histograms
+// created before the call keep their previous source.
+func (r *Registry) SetRand(rng *rand.Rand) { r.rng = rng }
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named duration histogram, creating it on first use
+// with the registry's reservoir RNG.
+func (r *Registry) Histogram(name string) *metrics.Histogram {
+	h := r.hists[name]
+	if h == nil {
+		h = &metrics.Histogram{}
+		h.SetRand(r.rng)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot flattens every metric into a name→value map: counters and
+// gauges verbatim, histograms expanded to <name>.count, <name>.mean_ms,
+// <name>.p95_ms and <name>.max_ms. The map marshals with sorted keys, so a
+// snapshot in JSON output is deterministic.
+func (r *Registry) Snapshot() map[string]float64 {
+	if r == nil {
+		return nil
+	}
+	out := make(map[string]float64)
+	for name, c := range r.counters {
+		out[name] = c.v
+	}
+	for name, g := range r.gauges {
+		out[name] = g.v
+	}
+	var hnames []string
+	for name := range r.hists {
+		hnames = append(hnames, name)
+	}
+	sort.Strings(hnames)
+	for _, name := range hnames {
+		s := r.hists[name].Summary()
+		out[name+".count"] = float64(r.hists[name].Total())
+		out[name+".mean_ms"] = s.Mean
+		out[name+".p95_ms"] = s.P95
+		out[name+".max_ms"] = s.Max
+	}
+	return out
+}

@@ -1,0 +1,221 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cloudrepl/internal/metrics"
+)
+
+// StageStat is the per-stage latency breakdown of a trace file.
+type StageStat struct {
+	Stage   string
+	Count   int
+	MeanMs  float64
+	P95Ms   float64
+	MaxMs   float64
+	TotalMs float64
+}
+
+// StageStats aggregates spans by pipeline stage, in canonical Stages order
+// (unknown stages follow, sorted by name).
+func StageStats(spans []ParsedSpan) []StageStat {
+	byStage := map[string][]float64{}
+	for _, sp := range spans {
+		byStage[sp.Stage] = append(byStage[sp.Stage], sp.DurMs())
+	}
+	known := map[string]bool{}
+	var order []string
+	for _, st := range Stages {
+		known[st] = true
+		if len(byStage[st]) > 0 {
+			order = append(order, st)
+		}
+	}
+	var extra []string
+	for st := range byStage {
+		if !known[st] {
+			extra = append(extra, st)
+		}
+	}
+	sort.Strings(extra)
+	order = append(order, extra...)
+
+	var out []StageStat
+	for _, st := range order {
+		ds := byStage[st]
+		sum := metrics.Summarize(ds)
+		var total float64
+		for _, d := range ds {
+			total += d
+		}
+		out = append(out, StageStat{
+			Stage: st, Count: len(ds),
+			MeanMs: sum.Mean, P95Ms: sum.P95, MaxMs: sum.Max, TotalMs: total,
+		})
+	}
+	return out
+}
+
+// TopSpans returns the n longest spans, ties broken by start time then span
+// ID so the order is deterministic.
+func TopSpans(spans []ParsedSpan, n int) []ParsedSpan {
+	sorted := append([]ParsedSpan(nil), spans...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].DurUs != sorted[j].DurUs {
+			return sorted[i].DurUs > sorted[j].DurUs
+		}
+		if sorted[i].TSUs != sorted[j].TSUs {
+			return sorted[i].TSUs < sorted[j].TSUs
+		}
+		return sorted[i].ID < sorted[j].ID
+	})
+	if n > len(sorted) {
+		n = len(sorted)
+	}
+	return sorted[:n]
+}
+
+// FullTrace finds a trace whose spans cover every pipeline stage — one
+// write's complete causal chain from the client call to a slave apply. The
+// earliest-starting such trace wins (ties by trace ID), so the choice is
+// deterministic. ok is false when no trace covers all stages.
+func FullTrace(spans []ParsedSpan) (trace uint64, ok bool) {
+	stages := map[uint64]map[string]bool{}
+	first := map[uint64]float64{}
+	for _, sp := range spans {
+		set := stages[sp.Trace]
+		if set == nil {
+			set = map[string]bool{}
+			stages[sp.Trace] = set
+			first[sp.Trace] = sp.TSUs
+		}
+		set[sp.Stage] = true
+		if sp.TSUs < first[sp.Trace] {
+			first[sp.Trace] = sp.TSUs
+		}
+	}
+	var ids []uint64
+	for tr := range stages {
+		ids = append(ids, tr)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		if first[ids[i]] != first[ids[j]] {
+			return first[ids[i]] < first[ids[j]]
+		}
+		return ids[i] < ids[j]
+	})
+	for _, tr := range ids {
+		full := true
+		for _, st := range Stages {
+			if !stages[tr][st] {
+				full = false
+				break
+			}
+		}
+		if full {
+			return tr, true
+		}
+	}
+	return 0, false
+}
+
+// CriticalPath returns a chain of spans, root first, descending at each
+// level to the latest-ending child — for a write, the path from the client
+// call through the server commit and binlog ship to the slave apply that
+// gates staleness. Ties break toward the smaller span ID, so the path is
+// deterministic.
+func CriticalPath(spans []ParsedSpan, trace uint64) []ParsedSpan {
+	children := map[uint64][]ParsedSpan{}
+	var root ParsedSpan
+	found := false
+	n := 0
+	for _, sp := range spans {
+		if sp.Trace != trace {
+			continue
+		}
+		n++
+		children[sp.Parent] = append(children[sp.Parent], sp)
+		if sp.Parent != 0 {
+			continue
+		}
+		if !found || sp.TSUs < root.TSUs ||
+			(sp.TSUs == root.TSUs && sp.ID < root.ID) {
+			root = sp
+			found = true
+		}
+	}
+	if !found {
+		return nil
+	}
+	path := []ParsedSpan{root}
+	for cur := root; len(path) <= n; {
+		kids := children[cur.ID]
+		if len(kids) == 0 {
+			break
+		}
+		next := kids[0]
+		for _, k := range kids[1:] {
+			if k.EndUs() > next.EndUs() ||
+				(k.EndUs() == next.EndUs() && k.ID < next.ID) {
+				next = k
+			}
+		}
+		path = append(path, next)
+		cur = next
+	}
+	return path
+}
+
+// Summarize renders the human-readable report the cloudrepl-trace command
+// prints: per-stage latency breakdown, the n longest spans, and the
+// critical path of one complete write trace.
+func Summarize(spans []ParsedSpan, topN int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace summary: %d spans\n\n", len(spans))
+
+	b.WriteString("per-stage latency breakdown\n")
+	fmt.Fprintf(&b, "%-10s %8s %12s %12s %12s %14s\n",
+		"stage", "spans", "mean (ms)", "p95 (ms)", "max (ms)", "total (ms)")
+	for _, st := range StageStats(spans) {
+		fmt.Fprintf(&b, "%-10s %8d %12.3f %12.3f %12.3f %14.1f\n",
+			st.Stage, st.Count, st.MeanMs, st.P95Ms, st.MaxMs, st.TotalMs)
+	}
+
+	fmt.Fprintf(&b, "\ntop %d spans by duration\n", topN)
+	fmt.Fprintf(&b, "%-10s %-14s %12s %14s  %s\n", "stage", "span", "dur (ms)", "start (ms)", "attrs")
+	for _, sp := range TopSpans(spans, topN) {
+		fmt.Fprintf(&b, "%-10s %-14s %12.3f %14.1f  %s\n",
+			sp.Stage, sp.Name, sp.DurMs(), sp.TSUs/1000, attrString(sp))
+	}
+
+	if trace, ok := FullTrace(spans); ok {
+		fmt.Fprintf(&b, "\ncritical path of one complete write (trace %s)\n", hexID(trace))
+		path := CriticalPath(spans, trace)
+		for i, sp := range path {
+			fmt.Fprintf(&b, "%s%-10s %-14s start=%10.1f ms dur=%8.3f ms  %s\n",
+				strings.Repeat("  ", i), sp.Stage, sp.Name, sp.TSUs/1000, sp.DurMs(), attrString(sp))
+		}
+	} else {
+		b.WriteString("\nno trace covers every pipeline stage (client→pool→proxy→server→binlog→apply)\n")
+	}
+	return b.String()
+}
+
+// attrString renders a span's non-identity attributes, keys sorted.
+func attrString(sp ParsedSpan) string {
+	skip := map[string]bool{"trace": true, "span": true, "parent": true}
+	var keys []string
+	for k := range sp.Attrs {
+		if !skip[k] {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, k+"="+sp.Attrs[k])
+	}
+	return strings.Join(parts, " ")
+}

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"time"
 
+	"cloudrepl/internal/obs"
 	"cloudrepl/internal/sim"
 )
 
@@ -50,6 +51,10 @@ type Stats struct {
 
 // Pool is a generic connection pool for any connection type.
 type Pool[T any] struct {
+	// Tracer, when set, records a "pool" span around every Borrow (with a
+	// waited attribute when the borrow had to block). Nil disables tracing.
+	Tracer *obs.Tracer
+
 	env     *sim.Env
 	cfg     Config
 	factory func() T
@@ -93,6 +98,16 @@ func (pl *Pool[T]) Idle() int { return len(pl.idle) }
 // blocking until a Return or until MaxWait elapses.
 func (pl *Pool[T]) Borrow(p *sim.Proc) (T, error) {
 	var zero T
+	sp := pl.Tracer.StartSpan(p, "pool", "borrow")
+	done := func(errAttr string, waited bool) {
+		if waited {
+			sp.SetAttr("waited", "1")
+		}
+		if errAttr != "" {
+			sp.SetAttr("error", errAttr)
+		}
+		sp.End(p)
+	}
 	if pl.cfg.BorrowCost > 0 {
 		p.Sleep(pl.cfg.BorrowCost)
 	}
@@ -103,6 +118,7 @@ func (pl *Pool[T]) Borrow(p *sim.Proc) (T, error) {
 	waited := false
 	for {
 		if pl.closed {
+			done("closed", waited)
 			return zero, ErrClosed
 		}
 		if n := len(pl.idle); n > 0 {
@@ -110,13 +126,16 @@ func (pl *Pool[T]) Borrow(p *sim.Proc) (T, error) {
 			pl.idle = pl.idle[:n-1]
 			pl.idleAt = pl.idleAt[:n-1]
 			pl.stats.Borrows++
+			done("", waited)
 			return c, nil
 		}
 		if pl.active < pl.cfg.MaxActive {
 			pl.active++
 			pl.stats.Created++
 			pl.stats.Borrows++
-			return pl.factory(), nil
+			c := pl.factory()
+			done("", waited)
+			return c, nil
 		}
 		// One blocked borrow is one wait, no matter how many wake-loop
 		// races it loses before winning a connection.
@@ -128,12 +147,30 @@ func (pl *Pool[T]) Borrow(p *sim.Proc) (T, error) {
 			remain := deadline - p.Now()
 			if remain <= 0 || !pl.waiters.WaitTimeout(p, remain) {
 				pl.stats.Timeouts++
+				done("exhausted", waited)
 				return zero, ErrExhausted
 			}
 		} else {
 			pl.waiters.Wait(p)
 		}
 	}
+}
+
+// PublishMetrics snapshots the pool's counters and occupancy into reg under
+// the "pool." prefix.
+func (pl *Pool[T]) PublishMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	s := pl.stats
+	reg.Counter("pool.created").Set(float64(s.Created))
+	reg.Counter("pool.closed").Set(float64(s.Closed))
+	reg.Counter("pool.borrows").Set(float64(s.Borrows))
+	reg.Counter("pool.returns").Set(float64(s.Returns))
+	reg.Counter("pool.waits").Set(float64(s.Waits))
+	reg.Counter("pool.timeouts").Set(float64(s.Timeouts))
+	reg.Gauge("pool.active").Set(float64(pl.active))
+	reg.Gauge("pool.idle").Set(float64(len(pl.idle)))
 }
 
 // Return checks a connection back in. Surplus beyond MaxIdle is closed.

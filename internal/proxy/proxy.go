@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"cloudrepl/internal/cloud"
+	"cloudrepl/internal/obs"
 	"cloudrepl/internal/repl"
 	"cloudrepl/internal/server"
 	"cloudrepl/internal/sim"
@@ -288,6 +289,10 @@ type Proxy struct {
 	// core.Open wires it to cluster.Failover.
 	OnMasterFailure func(p *sim.Proc) (*repl.Master, error)
 
+	// Tracer, when set, records a "proxy" route span per statement and one
+	// attempt span per routed backend try. Nil disables tracing.
+	Tracer *obs.Tracer
+
 	inflight    map[*repl.Slave]int
 	health      map[*repl.Slave]*slaveHealth
 	quarantined map[*repl.Slave]bool
@@ -471,6 +476,12 @@ func (c *Conn) Exec(p *sim.Proc, sql string, args ...sqlengine.Value) (*ExecResu
 	} else {
 		px.stats.Writes++
 	}
+	sp := px.Tracer.StartSpan(p, "proxy", "route")
+	if isRead {
+		sp.SetAttr("kind", "read")
+	} else {
+		sp.SetAttr("kind", "write")
+	}
 	attempts := px.Retry.attempts()
 	var lastErr error
 	for attempt := 1; attempt <= attempts; attempt++ {
@@ -480,6 +491,8 @@ func (c *Conn) Exec(p *sim.Proc, sql string, args ...sqlengine.Value) (*ExecResu
 		}
 		res, err := c.execOnce(p, isRead, sql, args, start)
 		if err == nil {
+			sp.SetAttrInt("attempts", int64(attempt))
+			sp.End(p)
 			return res, nil
 		}
 		lastErr = err
@@ -488,7 +501,28 @@ func (c *Conn) Exec(p *sim.Proc, sql string, args ...sqlengine.Value) (*ExecResu
 		}
 	}
 	px.stats.Errors++
+	sp.SetAttr("error", "all-attempts-failed")
+	sp.End(p)
 	return nil, lastErr
+}
+
+// PublishMetrics snapshots the proxy's routing and robustness counters into
+// reg under the "proxy." prefix.
+func (px *Proxy) PublishMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	s := px.stats
+	reg.Counter("proxy.reads").Set(float64(s.Reads))
+	reg.Counter("proxy.writes").Set(float64(s.Writes))
+	reg.Counter("proxy.master_fallbacks").Set(float64(s.MasterFallbacks))
+	reg.Counter("proxy.errors").Set(float64(s.Errors))
+	reg.Counter("proxy.retries").Set(float64(s.Retries))
+	reg.Counter("proxy.timeouts").Set(float64(s.Timeouts))
+	reg.Counter("proxy.slave_evictions").Set(float64(s.SlaveEvictions))
+	reg.Counter("proxy.slave_readmissions").Set(float64(s.SlaveReadmissions))
+	reg.Counter("proxy.failovers").Set(float64(s.Failovers))
+	reg.Counter("proxy.degraded_commits").Set(float64(s.DegradedCommits))
 }
 
 // retryable reports whether an error may clear on a different backend or a
@@ -653,6 +687,8 @@ func (c *Conn) execOn(p *sim.Proc, sl *repl.Slave, sql string, args []sqlengine.
 	if sl != nil {
 		srv = sl.Srv
 	}
+	asp := px.Tracer.StartSpan(p, "proxy", "attempt")
+	asp.SetAttr("backend", srv.Name)
 	sess := c.sess[srv]
 	if sess == nil {
 		sess = srv.Session(c.db)
@@ -660,20 +696,29 @@ func (c *Conn) execOn(p *sim.Proc, sl *repl.Slave, sql string, args []sqlengine.
 	}
 	if !px.net.TransitTimeout(p, px.client, srv.Inst.Place, px.Retry.StatementTimeout) {
 		px.stats.Timeouts++
+		asp.SetAttr("error", "timeout")
+		asp.End(p)
 		return nil, ErrStatementTimeout
 	}
 	// The backend can die while the request is on the wire.
 	if !srv.Up() {
+		asp.SetAttr("error", "down")
+		asp.End(p)
 		return nil, ErrNoBackend
 	}
 	res, err := srv.Exec(p, sess, sql, args...)
 	if err != nil {
+		asp.SetAttr("error", "exec")
+		asp.End(p)
 		return nil, err
 	}
 	if !px.net.TransitTimeout(p, srv.Inst.Place, px.client, px.Retry.StatementTimeout) {
 		px.stats.Timeouts++
+		asp.SetAttr("error", "timeout")
+		asp.End(p)
 		return nil, ErrStatementTimeout
 	}
+	asp.End(p)
 	return res, nil
 }
 

@@ -146,9 +146,14 @@ func (m *Master) startParallelApplier(sl *Slave, ackPipe func(ack), workers int)
 				if sl.stopped {
 					return
 				}
+				asp := m.Tracer.StartLinked(p, "apply", "apply", m.Tracer.SeqRef(it.e.Seq))
+				asp.SetAttr("slave", sl.Srv.Name)
+				asp.SetAttrInt("seq", int64(it.e.Seq))
 				if err := sl.Srv.Apply(p, sess, it.e); err != nil {
 					sl.applyErrs++
+					asp.SetAttr("error", "apply")
 				}
+				asp.End(p)
 				st.complete(it.e, p.Now())
 				if m.Mode == Sync {
 					// Ack the low-water mark: it is what "applied" means

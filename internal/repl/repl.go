@@ -19,6 +19,7 @@ import (
 
 	"cloudrepl/internal/binlog"
 	"cloudrepl/internal/cloud"
+	"cloudrepl/internal/obs"
 	"cloudrepl/internal/server"
 	"cloudrepl/internal/sim"
 )
@@ -80,6 +81,11 @@ type Master struct {
 	// attached slaves keep the configuration they were wired with.
 	Pipeline PipelineConfig
 
+	// Tracer, when set, records "binlog" ship spans per dump-thread batch
+	// and "apply" spans per applied entry, linked to the originating
+	// write's span via the binlog sequence. Nil disables tracing.
+	Tracer *obs.Tracer
+
 	env      *sim.Env
 	slaves   []*Slave
 	ackCh    *sim.Signal // broadcast whenever any slave ack arrives
@@ -116,6 +122,32 @@ type Stats struct {
 	// commit counters (fsync groups formed and writes that joined one).
 	GroupCommits  uint64
 	GroupedWrites uint64
+}
+
+// SetTracer wires tr (which may be nil) into the master, its server and
+// every attached slave's server, enabling end-to-end span collection.
+func (m *Master) SetTracer(tr *obs.Tracer) {
+	m.Tracer = tr
+	m.Srv.Tracer = tr
+	for _, sl := range m.Slaves() {
+		sl.Srv.Tracer = tr
+	}
+}
+
+// PublishMetrics snapshots the replication-path counters into reg under the
+// "repl." prefix.
+func (m *Master) PublishMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	s := m.Stats()
+	reg.Counter("repl.degraded_commits").Set(float64(s.DegradedCommits))
+	reg.Counter("repl.reupgrades").Set(float64(s.Reupgrades))
+	reg.Counter("repl.batches_shipped").Set(float64(s.BatchesShipped))
+	reg.Counter("repl.entries_shipped").Set(float64(s.EntriesShipped))
+	reg.Counter("repl.group_commits").Set(float64(s.GroupCommits))
+	reg.Counter("repl.grouped_writes").Set(float64(s.GroupedWrites))
+	reg.Gauge("repl.slaves").Set(float64(len(m.Slaves())))
 }
 
 // Stats returns a snapshot of the replication-path counters.
@@ -296,10 +328,18 @@ func (m *Master) Attach(sl *Slave, startPos uint64) {
 				batch = append(batch, next)
 				bytes += next.WireSize()
 			}
+			// A ship span joins the trace of the write that committed the
+			// batch's first entry (a mixed batch still records the other
+			// writes' entries under its entries attribute).
+			ssp := m.Tracer.StartLinked(p, "binlog", "ship", m.Tracer.SeqRef(batch[0].Seq))
+			ssp.SetAttr("slave", sl.Srv.Name)
+			ssp.SetAttrInt("entries", int64(len(batch)))
+			ssp.SetAttrInt("first_seq", int64(batch[0].Seq))
 			m.Srv.DumpBatchWork(p, len(batch))
 			m.batchesShipped++
 			m.entriesShipped += uint64(len(batch))
 			pipe.Send(batch)
+			ssp.End(p)
 		}
 	})
 
@@ -375,9 +415,14 @@ func (m *Master) Attach(sl *Slave, startPos uint64) {
 			if sl.stopped {
 				return
 			}
+			asp := m.Tracer.StartLinked(p, "apply", "apply", m.Tracer.SeqRef(e.Seq))
+			asp.SetAttr("slave", sl.Srv.Name)
+			asp.SetAttrInt("seq", int64(e.Seq))
 			if err := sl.Srv.Apply(p, sess, e); err != nil {
 				sl.applyErrs++
+				asp.SetAttr("error", "apply")
 			}
+			asp.End(p)
 			sl.appliedSeq = e.Seq
 			sl.appliedTs = e.TimestampMicros
 			sl.appliedAt = p.Now()

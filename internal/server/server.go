@@ -11,6 +11,7 @@ import (
 
 	"cloudrepl/internal/binlog"
 	"cloudrepl/internal/cloud"
+	"cloudrepl/internal/obs"
 	"cloudrepl/internal/sim"
 	"cloudrepl/internal/sqlengine"
 )
@@ -135,6 +136,12 @@ type DBServer struct {
 	// point is the COMMIT statement, not the write itself.
 	GroupCommitWindow time.Duration
 
+	// Tracer, when set, records a "server" span per executed statement
+	// (registering committed binlog sequences for cross-process linking)
+	// and a "binlog" group-commit span per fsync group. Nil disables
+	// tracing.
+	Tracer *obs.Tracer
+
 	env   *sim.Env
 	stats Stats
 
@@ -195,8 +202,13 @@ func (s *DBServer) Exec(p *sim.Proc, sess *sqlengine.Session, sql string, args .
 	if !s.Up() {
 		return nil, ErrServerDown
 	}
+	sp := s.Tracer.StartSpan(p, "server", "exec")
+	sp.SetAttr("server", s.Name)
+	before := s.Log.LastSeq()
 	res, err := sess.Exec(sql, args...)
 	if err != nil {
+		sp.SetAttr("error", "sql")
+		sp.End(p)
 		return nil, err
 	}
 	switch res.Stats.Class {
@@ -207,6 +219,14 @@ func (s *DBServer) Exec(p *sim.Proc, sess *sqlengine.Session, sql string, args .
 	case sqlengine.ClassDDL:
 		s.stats.DDL++
 	}
+	if s.Tracer != nil && res.Stats.Class != sqlengine.ClassRead {
+		// sess.Exec runs without yielding, so (before, LastSeq] is exactly
+		// the set of binlog entries this statement committed; registering
+		// them lets the dump and apply threads join this write's trace.
+		for seq := before + 1; seq <= s.Log.LastSeq(); seq++ {
+			s.Tracer.LinkSeq(seq, sp)
+		}
+	}
 	cost := s.Cost.StatementCost(res.Stats, false)
 	if s.GroupCommitWindow > 0 && res.Stats.Class == sqlengine.ClassWrite && !sess.InTxn() {
 		fsync := s.Cost.CommitFsync
@@ -215,9 +235,11 @@ func (s *DBServer) Exec(p *sim.Proc, sess *sqlengine.Session, sql string, args .
 		}
 		s.Inst.Work(p, cost-fsync) // execution minus the fsync share
 		s.groupCommit(p)
+		sp.End(p)
 		return res, nil
 	}
 	s.Inst.Work(p, cost)
+	sp.End(p)
 	return res, nil
 }
 
@@ -244,14 +266,18 @@ func (s *DBServer) groupCommit(p *sim.Proc) {
 	if s.stats.MaxGroupSize < 1 {
 		s.stats.MaxGroupSize = 1
 	}
+	gsp := s.Tracer.StartSpan(p, "binlog", "group-commit")
 	p.Sleep(s.GroupCommitWindow)
 	// Close the group before fsyncing so commits arriving during the fsync
 	// form the next group instead of joining one whose write is in flight.
 	sig := s.gcSig
+	size := s.gcSize
 	s.gcOpen = false
 	s.stats.GroupCommits++
 	s.binlogDisk.Use(p, s.Cost.CommitFsync)
 	sig.Broadcast()
+	gsp.SetAttrInt("size", int64(size))
+	gsp.End(p)
 }
 
 // ExecFree executes a statement without charging CPU — used by loaders that
