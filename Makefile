@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-smoke determinism-smoke trace-smoke fuzz-seed figures examples vet fmt fmt-check lint clean check
+.PHONY: all build test race bench bench-smoke bench-kernel determinism-smoke trace-smoke fuzz-seed figures examples vet fmt fmt-check lint clean check
 
 all: build vet lint test
 
@@ -11,6 +11,7 @@ check:
 	$(MAKE) lint
 	$(GO) test -race ./...
 	$(MAKE) trace-smoke
+	$(MAKE) bench-kernel
 
 # Determinism linters (simtime, simrand, rawgo, maporder, closecheck) plus
 # the gofmt cleanliness gate. cloudrepl-lint is the repo's own multichecker
@@ -48,6 +49,14 @@ bench:
 bench-smoke:
 	$(GO) run ./cmd/cloudrepl-bench -ablation elastic -short -q -json results
 	$(GO) run ./cmd/cloudrepl-bench -ablation pipeline -short -q -json results
+
+# Kernel-speed smoke: measure the sim kernel (micro workload + one
+# experiment cell), write BENCH_kernel.json into results/, and fail if the
+# micro ns/event regresses >20% against the checked-in baseline. Refresh
+# the baseline deliberately with:
+#   cp results/BENCH_kernel.json bench/kernel_baseline.json
+bench-kernel:
+	$(GO) run ./cmd/cloudrepl-bench -bench-kernel -short -q -json results -kernel-baseline bench/kernel_baseline.json
 
 # Determinism sanitizer: the A-PIPELINE corner grid twice with one seed,
 # byte-comparing the JSON; then the inject self-test, which must fail.

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime/debug"
 	"strings"
 	"time"
 
@@ -42,8 +43,15 @@ func main() {
 	tracePath := flag.String("trace", "", "run one fully-traced pipeline point and write its Chrome trace-event JSON here (view in chrome://tracing or summarize with cloudrepl-trace)")
 	csvDir := flag.String("csv", "", "directory to write per-figure CSV files into")
 	jsonDir := flag.String("json", "", "directory to write machine-readable BENCH_*.json files into")
+	benchKernel := flag.Bool("bench-kernel", false, "measure raw sim-kernel speed (events/sec, ns/event, allocs/event) and emit BENCH_kernel.json; also runs as part of -all")
+	kernelBaseline := flag.String("kernel-baseline", "", "checked-in kernel baseline JSON to gate against: fail when micro ns/event regresses >20% (update with: cp <jsondir>/BENCH_kernel.json bench/kernel_baseline.json)")
 	quiet := flag.Bool("q", false, "suppress per-run progress lines")
+	gogc := flag.Int("gogc", 300, "GC target percentage for the bench process (simulation runs allocate in bursts and retain little, so a larger heap-growth target trades memory for wall-clock; 0 leaves the runtime default)")
 	flag.Parse()
+
+	if *gogc > 0 {
+		debug.SetGCPercent(*gogc)
+	}
 
 	want := map[string]bool{}
 	for _, f := range strings.Split(*figs, ",") {
@@ -60,9 +68,12 @@ func main() {
 		want["rtt"] = true
 	}
 	if *all {
-		for _, k := range []string{"fig2", "fig3", "fig4", "fig5", "fig6", "rtt", "ab-sync", "ab-lb", "ab-var", "ab-prio", "ab-arch", "ab-chaos", "ab-elastic", "ab-pipeline"} {
+		for _, k := range []string{"fig2", "fig3", "fig4", "fig5", "fig6", "rtt", "ab-sync", "ab-lb", "ab-var", "ab-prio", "ab-arch", "ab-chaos", "ab-elastic", "ab-pipeline", "kernel"} {
 			want[k] = true
 		}
+	}
+	if *benchKernel {
+		want["kernel"] = true
 	}
 	opts := experiment.SweepOpts{Short: *short, Parallelism: *par, Seed: *seed}
 	if !*quiet {
@@ -77,6 +88,10 @@ func main() {
 		}
 		banner("determinism sanitizer: traced run twice with one seed, byte-compared trace + metrics")
 		if err := experiment.TraceDeterminism(opts); err != nil {
+			fatal(err)
+		}
+		banner("determinism sanitizer: sharded runner serial vs parallel, byte-compared merged JSON")
+		if err := experiment.KernelDeterminism(opts); err != nil {
 			fatal(err)
 		}
 		fmt.Println("determinism check passed: both runs produced byte-identical JSON")
@@ -268,6 +283,23 @@ func main() {
 		}
 		fmt.Println(obs.Summarize(spans, 10))
 		fmt.Fprintf(os.Stderr, "wrote %s (%d spans)\n", *tracePath, len(spans))
+	}
+
+	if want["kernel"] {
+		banner("kernel bench: raw scheduler speed (micro workload + one experiment cell)")
+		//cloudrepl:allow-simtime the kernel bench records the surrounding sweep's real wall-clock
+		r, err := experiment.KernelBench(opts, time.Since(start))
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(experiment.RenderKernelBench(r))
+		writeJSON("kernel", r)
+		if *kernelBaseline != "" {
+			if err := experiment.CheckKernelBaseline(*kernelBaseline, r); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("kernel baseline gate passed (%s)\n", *kernelBaseline)
+		}
 	}
 
 	//cloudrepl:allow-simtime the CLI reports real elapsed wall time, not simulated time

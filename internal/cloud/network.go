@@ -194,6 +194,22 @@ func (n *Network) TransitTimeout(p *sim.Proc, a, b Placement, timeout time.Durat
 	return false
 }
 
+// queuedPut is Send's in-flight message: the payload and the arrival-side
+// partition check in one allocation, handed to the kernel as a Deliverable
+// so no delivery closure is built per message.
+type queuedPut[T any] struct {
+	n    *Network
+	a, b Placement
+	q    *sim.Queue[T]
+	v    T
+}
+
+func (m *queuedPut[T]) Deliver() {
+	if m.n.Reachable(m.a, m.b) {
+		m.q.Put(m.v)
+	}
+}
+
 // Send delivers v into q after a sampled one-way latency without blocking
 // the caller — the asynchronous replication stream. Delivery order between
 // two sends on the same pair may invert only if jitter reorders them;
@@ -201,7 +217,23 @@ func (n *Network) TransitTimeout(p *sim.Proc, a, b Placement, timeout time.Durat
 // queue position instead, so callers needing FIFO should use SendOrdered.
 // Sends on a partitioned path are dropped (at dispatch or at arrival).
 func Send[T any](n *Network, a, b Placement, q *sim.Queue[T], v T) {
-	Unicast(n, a, b, func() { q.Put(v) })
+	if !n.Reachable(a, b) {
+		return
+	}
+	n.env.ScheduleDeliver(n.OneWay(a, b), &queuedPut[T]{n: n, a: a, b: b, q: q, v: v})
+}
+
+// unicastMsg is Unicast's in-flight message; see queuedPut.
+type unicastMsg struct {
+	n       *Network
+	a, b    Placement
+	deliver func()
+}
+
+func (m *unicastMsg) Deliver() {
+	if m.n.Reachable(m.a, m.b) {
+		m.deliver()
+	}
 }
 
 // Unicast runs deliver after a sampled one-way latency, dropping the
@@ -211,11 +243,7 @@ func Unicast(n *Network, a, b Placement, deliver func()) {
 	if !n.Reachable(a, b) {
 		return
 	}
-	n.env.Schedule(n.OneWay(a, b), func() {
-		if n.Reachable(a, b) {
-			deliver()
-		}
-	})
+	n.env.ScheduleDeliver(n.OneWay(a, b), &unicastMsg{n: n, a: a, b: b, deliver: deliver})
 }
 
 // PipeRetryInterval is how often a Pipe re-probes a partitioned path for
@@ -235,6 +263,7 @@ type Pipe[T any] struct {
 
 	pending []pipeMsg[T] // in-flight messages, FIFO
 	pumping bool
+	pumpFn  func() // pump as a func value, built once — not per reschedule
 }
 
 type pipeMsg[T any] struct {
@@ -244,7 +273,9 @@ type pipeMsg[T any] struct {
 
 // NewPipe creates an ordered channel delivering into q.
 func NewPipe[T any](n *Network, from, to Placement, q *sim.Queue[T]) *Pipe[T] {
-	return &Pipe[T]{net: n, from: from, to: to, q: q}
+	pp := &Pipe[T]{net: n, from: from, to: to, q: q}
+	pp.pumpFn = pp.pump
+	return pp
 }
 
 // Send enqueues v for ordered delivery.
@@ -257,7 +288,7 @@ func (pp *Pipe[T]) Send(v T) {
 	pp.pending = append(pp.pending, pipeMsg[T]{v: v, at: at})
 	if !pp.pumping {
 		pp.pumping = true
-		pp.net.env.Schedule(at-pp.net.env.Now(), pp.pump)
+		pp.net.env.After(at-pp.net.env.Now(), pp.pumpFn)
 	}
 }
 
@@ -271,11 +302,11 @@ func (pp *Pipe[T]) pump() {
 	}
 	head := pp.pending[0]
 	if now < head.at {
-		pp.net.env.Schedule(head.at-now, pp.pump)
+		pp.net.env.After(head.at-now, pp.pumpFn)
 		return
 	}
 	if !pp.net.Reachable(pp.from, pp.to) {
-		pp.net.env.Schedule(PipeRetryInterval, pp.pump)
+		pp.net.env.After(PipeRetryInterval, pp.pumpFn)
 		return
 	}
 	pp.q.Put(head.v)
@@ -288,7 +319,7 @@ func (pp *Pipe[T]) pump() {
 	if next < now {
 		next = now
 	}
-	pp.net.env.Schedule(next-now, pp.pump)
+	pp.net.env.After(next-now, pp.pumpFn)
 }
 
 // InFlight returns the number of sent-but-undelivered messages.

@@ -22,6 +22,7 @@ import (
 
 	"cloudrepl/internal/cloud"
 	"cloudrepl/internal/cluster"
+	"cloudrepl/internal/metrics"
 	"cloudrepl/internal/obs"
 	"cloudrepl/internal/pool"
 	"cloudrepl/internal/proxy"
@@ -38,6 +39,31 @@ type DB struct {
 	cfg    config
 	tracer *obs.Tracer
 	reg    *obs.Registry
+
+	// Per-statement instruments, resolved on first use so the Exec hot path
+	// does one registry map lookup per handle, not per statement. They stay
+	// nil (and no-op) when metrics are disabled, and are not materialized
+	// before first use so a snapshot only shows metrics that were touched.
+	mClientErrors *obs.Counter
+	mClientExec   *metrics.Histogram
+}
+
+// clientErrors lazily resolves the client.errors counter (nil with metrics
+// disabled). Only error paths reach it, so the lookup-on-miss never sits
+// on the statement fast path.
+func (db *DB) clientErrors() *obs.Counter {
+	if db.mClientErrors == nil && db.reg != nil {
+		db.mClientErrors = db.reg.Counter("client.errors")
+	}
+	return db.mClientErrors
+}
+
+// clientExec lazily resolves the client.exec latency histogram.
+func (db *DB) clientExec() *metrics.Histogram {
+	if db.mClientExec == nil && db.reg != nil {
+		db.mClientExec = db.reg.Histogram("client.exec")
+	}
+	return db.mClientExec
 }
 
 // Open wires a handle onto a running cluster.
@@ -66,7 +92,7 @@ func openConfig(clu *cluster.Cluster, cfg config) *DB {
 		}
 	}
 	db := &DB{clu: clu, px: px, cfg: cfg, tracer: cfg.tracer, reg: cfg.registry}
-	if db.reg == nil {
+	if db.reg == nil && !cfg.noMetrics {
 		db.reg = obs.NewRegistry()
 	}
 	// Reservoir sampling in registry histograms uses the env RNG (only once
@@ -92,8 +118,9 @@ func (db *DB) Proxy() *proxy.Proxy { return db.px }
 // Pool returns the connection pool.
 func (db *DB) Pool() *pool.Pool[*proxy.Conn] { return db.pool }
 
-// Registry returns the handle's metrics registry (always non-nil; the one
-// passed via WithMetrics, or the handle's own).
+// Registry returns the handle's metrics registry: the one passed via
+// WithMetrics, or the handle's own — nil only under WithoutMetrics, and a
+// nil registry is safe to instrument against (every lookup no-ops).
 func (db *DB) Registry() *obs.Registry { return db.reg }
 
 // Exec borrows a connection, routes and executes one statement, and returns
@@ -106,16 +133,16 @@ func (db *DB) Exec(p *sim.Proc, sql string, args ...sqlengine.Value) (*proxy.Exe
 	start := p.Now()
 	conn, err := db.pool.Borrow(p)
 	if err != nil {
-		db.reg.Counter("client.errors").Inc()
+		db.clientErrors().Inc()
 		sp.SetAttr("error", "pool")
 		sp.End(p)
 		return nil, err
 	}
 	res, err := conn.Exec(p, sql, args...)
 	db.pool.Return(conn)
-	db.reg.Histogram("client.exec").Record(time.Duration(p.Now() - start))
+	db.clientExec().Record(time.Duration(p.Now() - start))
 	if err != nil {
-		db.reg.Counter("client.errors").Inc()
+		db.clientErrors().Inc()
 		sp.SetAttr("error", "exec")
 	}
 	sp.End(p)

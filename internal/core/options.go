@@ -22,6 +22,7 @@ type config struct {
 	pool           pool.Config
 	tracer         *obs.Tracer
 	registry       *obs.Registry
+	noMetrics      bool
 }
 
 // WithDatabase sets the default database for every connection.
@@ -83,4 +84,12 @@ func WithTracer(tr *obs.Tracer) Option {
 // a registry on first use.
 func WithMetrics(reg *obs.Registry) Option {
 	return func(c *config) { c.registry = reg }
+}
+
+// WithoutMetrics disables the metrics registry entirely: Registry()
+// returns nil and every instrument the data path touches is a nil no-op,
+// so per-statement accounting costs no allocations and no map lookups.
+// For benchmarking the kernel itself, or fleets of throwaway envs.
+func WithoutMetrics() Option {
+	return func(c *config) { c.noMetrics = true }
 }

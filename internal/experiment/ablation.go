@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"math"
 	"strings"
-	"sync"
 	"time"
 
 	"cloudrepl/internal/cloud"
@@ -30,22 +29,33 @@ type SyncModeResult struct {
 // latency (two cross-region hops per commit) and throughput.
 func AblationSyncModes(opts SweepOpts) ([]SyncModeResult, error) {
 	ramp, steady, down := opts.phases()
-	var out []SyncModeResult
+	type cell struct {
+		loc  Location
+		mode repl.Mode
+	}
+	var cells []cell
+	var specs []RunSpec
 	for _, loc := range []Location{SameZone, DiffRegion} {
 		for _, mode := range []repl.Mode{repl.Async, repl.SemiSync, repl.Sync} {
-			res, err := Run(RunSpec{
+			cells = append(cells, cell{loc, mode})
+			specs = append(specs, RunSpec{
 				Seed: opts.Seed + int64(mode) + 10*int64(loc), Users: 100, Slaves: 3,
 				Scale: 300, ReadRatio: 0.5, Loc: loc, Mode: mode,
 				RampUp: ramp, Steady: steady, RampDown: down,
 			})
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, SyncModeResult{mode, loc, res})
-			if opts.Progress != nil {
-				opts.Progress(fmt.Sprintf("sync-mode %-9s %-28s tp=%6.2f wlat=%7.1fms", mode, loc, res.Throughput, res.WriteLatencyMsMean))
-			}
 		}
+	}
+	results, err := RunShards(specs, opts.Parallelism, func(i int, res RunResult) {
+		if opts.Progress != nil {
+			opts.Progress(fmt.Sprintf("sync-mode %-9s %-28s tp=%6.2f wlat=%7.1fms", cells[i].mode, cells[i].loc, res.Throughput, res.WriteLatencyMsMean))
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]SyncModeResult, len(cells))
+	for i, c := range cells {
+		out[i] = SyncModeResult{c.mode, c.loc, results[i]}
 	}
 	return out, nil
 }
@@ -88,22 +98,27 @@ func AblationBalancers(opts SweepOpts) ([]BalancerResult, error) {
 		{"least-lag", func() proxy.Balancer { return proxy.LeastLag{} }},
 		{"staleness-bounded(30)", func() proxy.Balancer { return &proxy.StalenessBounded{MaxEventsBehind: 30} }},
 	}
-	var out []BalancerResult
+	specs := make([]RunSpec, len(cases))
 	for i, c := range cases {
-		res, err := Run(RunSpec{
+		specs[i] = RunSpec{
 			Seed: opts.Seed + int64(i), Users: 150, Slaves: 2,
 			Scale: 300, ReadRatio: 0.5, Loc: SameZone,
 			Balancer: c.mk,
 			RampUp:   ramp, Steady: steady, RampDown: down,
-		})
-		if err != nil {
-			return nil, err
 		}
-		out = append(out, BalancerResult{c.name, res})
+	}
+	results, err := RunShards(specs, opts.Parallelism, func(i int, res RunResult) {
 		if opts.Progress != nil {
 			opts.Progress(fmt.Sprintf("balancer %-22s tp=%6.2f delay=%10.1fms fallbacks=%d",
-				c.name, res.Throughput, res.AvgDelayMs, res.MasterFallbacks))
+				cases[i].name, res.Throughput, res.AvgDelayMs, res.MasterFallbacks))
 		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]BalancerResult, len(cases))
+	for i, c := range cases {
+		out[i] = BalancerResult{c.name, results[i]}
 	}
 	return out, nil
 }
@@ -147,29 +162,20 @@ func AblationInstanceVariation(opts SweepOpts, samples int) (VariationResult, er
 			RampUp: ramp, Steady: steady, RampDown: down,
 		}
 	}
-	homo, err := Run(mk(opts.Seed, false))
+	// Control run rides in shard 0 of the same fan-out as the samples.
+	specs := make([]RunSpec, samples+1)
+	specs[0] = mk(opts.Seed, false)
+	for i := 0; i < samples; i++ {
+		specs[i+1] = mk(opts.Seed+100+int64(i), true)
+	}
+	results, err := RunShards(specs, opts.Parallelism, nil)
 	if err != nil {
 		return VariationResult{}, err
 	}
-	out := VariationResult{HomogeneousTp: homo.Throughput, MinTp: math.Inf(1)}
-	tps := make([]float64, samples)
-	errs := make([]error, samples)
-	var wg sync.WaitGroup
-	for i := 0; i < samples; i++ {
-		i := i
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			res, err := Run(mk(opts.Seed+100+int64(i), true))
-			tps[i], errs[i] = res.Throughput, err
-		}()
-	}
-	wg.Wait()
+	out := VariationResult{HomogeneousTp: results[0].Throughput, MinTp: math.Inf(1)}
 	var sum, sumsq float64
-	for i, tp := range tps {
-		if errs[i] != nil {
-			return out, errs[i]
-		}
+	for i, res := range results[1:] {
+		tp := res.Throughput
 		out.SampleTps = append(out.SampleTps, tp)
 		sum += tp
 		sumsq += tp * tp
@@ -227,14 +233,11 @@ func AblationApplierPriority(opts SweepOpts) (PriorityResult, error) {
 			RampUp: ramp, Steady: steady, RampDown: down,
 		}
 	}
-	normal, err := Run(mk(false))
+	results, err := RunShards([]RunSpec{mk(false), mk(true)}, opts.Parallelism, nil)
 	if err != nil {
 		return PriorityResult{}, err
 	}
-	prio, err := Run(mk(true))
-	if err != nil {
-		return PriorityResult{}, err
-	}
+	normal, prio := results[0], results[1]
 	if opts.Progress != nil {
 		opts.Progress(fmt.Sprintf("applier priority: delay %0.1fms → %0.1fms", normal.AvgDelayMs, prio.AvgDelayMs))
 	}

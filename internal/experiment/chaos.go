@@ -155,25 +155,20 @@ func AblationChaos(opts SweepOpts) (ChaosResult, error) {
 		}
 	}
 
-	res, err := Run(mk(opts.Seed, nil))
+	specs := []RunSpec{
+		mk(opts.Seed, nil),
+		mk(opts.Seed+1, new(chaos.Schedule).CrashFor(crashAt, downFor, "slave1")),
+		mk(opts.Seed+2, new(chaos.Schedule).Crash(crashAt, "master")),
+	}
+	results, err := RunShards(specs, opts.Parallelism, nil)
 	if err != nil {
 		return out, err
 	}
-	out.Baseline = analyzeChaos("none", res, 0)
+	out.Baseline = analyzeChaos("none", results[0], 0)
 	report(out.Baseline)
-
-	res, err = Run(mk(opts.Seed+1, new(chaos.Schedule).CrashFor(crashAt, downFor, "slave1")))
-	if err != nil {
-		return out, err
-	}
-	out.SlaveCrash = analyzeChaos("slave-crash", res, crashAt)
+	out.SlaveCrash = analyzeChaos("slave-crash", results[1], crashAt)
 	report(out.SlaveCrash)
-
-	res, err = Run(mk(opts.Seed+2, new(chaos.Schedule).Crash(crashAt, "master")))
-	if err != nil {
-		return out, err
-	}
-	out.MasterCrash = analyzeChaos("master-crash", res, crashAt)
+	out.MasterCrash = analyzeChaos("master-crash", results[2], crashAt)
 	report(out.MasterCrash)
 
 	return out, nil

@@ -2,9 +2,7 @@ package experiment
 
 import (
 	"fmt"
-	"runtime"
 	"strings"
-	"sync"
 	"time"
 
 	"cloudrepl/internal/repl"
@@ -115,44 +113,26 @@ func ablationPipelineGrid(opts SweepOpts, variants []PipelineVariant, slaveNums,
 		}
 	}
 
-	par := opts.Parallelism
-	if par <= 0 {
-		par = runtime.GOMAXPROCS(0)
-	}
-	errs := make([]error, len(jobs))
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, par)
+	specs := make([]RunSpec, len(jobs))
 	for i, j := range jobs {
-		i, j := i, j
-		wg.Add(1)
-		sem <- struct{}{}
-		go func() {
-			defer wg.Done()
-			defer func() { <-sem }()
-			res, err := Run(j.spec)
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			mu.Lock()
-			c := &out.Curves[j.curve]
-			if j.point < 0 {
-				c.Unloaded = res
-			} else {
-				c.Points[j.point] = PipelinePoint{Users: j.spec.Users, Res: res}
-			}
-			mu.Unlock()
-			if opts.Progress != nil {
-				opts.Progress(fmt.Sprintf("pipeline %-14s slaves=%d users=%-3d tp=%6.2f ops/s delay=%8.1f ms p95=%8.1f ms",
-					c.Variant, j.spec.Slaves, j.spec.Users, res.Throughput, res.AvgDelayMs, res.P95DelayMs))
-			}
-		}()
+		specs[i] = j.spec
 	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return out, err
+	results, err := RunShards(specs, opts.Parallelism, func(i int, res RunResult) {
+		if opts.Progress != nil {
+			opts.Progress(fmt.Sprintf("pipeline %-14s slaves=%d users=%-3d tp=%6.2f ops/s delay=%8.1f ms p95=%8.1f ms",
+				out.Curves[jobs[i].curve].Variant, jobs[i].spec.Slaves, jobs[i].spec.Users,
+				res.Throughput, res.AvgDelayMs, res.P95DelayMs))
+		}
+	})
+	if err != nil {
+		return out, err
+	}
+	for i, j := range jobs {
+		c := &out.Curves[j.curve]
+		if j.point < 0 {
+			c.Unloaded = results[i]
+		} else {
+			c.Points[j.point] = PipelinePoint{Users: j.spec.Users, Res: results[i]}
 		}
 	}
 

@@ -190,6 +190,10 @@ type RunResult struct {
 
 	// TraceJSON is the Chrome trace-event export (Trace runs only).
 	TraceJSON []byte
+
+	// KernelEvents counts the simulation-kernel events the run dispatched —
+	// the denominator for the kernel-speed benchmark (BENCH_kernel.json).
+	KernelEvents uint64
 }
 
 // Run executes one experiment point on its own simulation environment.
@@ -386,5 +390,6 @@ func Run(spec RunSpec) (RunResult, error) {
 
 	env.Stop()
 	env.Shutdown()
+	res.KernelEvents = env.Events()
 	return res, nil
 }

@@ -1,0 +1,59 @@
+package experiment
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// RunShards is the experiment harness's single fan-out point: it executes
+// specs across a fixed pool of worker goroutines and returns results
+// indexed exactly like specs.
+//
+// Determinism argument (DESIGN.md §10): each spec is simulated in its own
+// fully-isolated sim.Env seeded only from the spec, so a run's bytes are a
+// pure function of its RunSpec no matter which worker executes it or when;
+// and the merge is by spec index, never completion order, so the combined
+// result is identical at any parallelism — including 1, which is how the
+// determinism sanitizer cross-checks it.
+//
+// progress, when non-nil, is called as runs complete — concurrently and in
+// completion order. It is wall-clock feedback for humans; nothing
+// deterministic may be derived from it.
+func RunShards(specs []RunSpec, parallelism int, progress func(i int, res RunResult)) ([]RunResult, error) {
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if parallelism > len(specs) {
+		parallelism = len(specs)
+	}
+	results := make([]RunResult, len(specs))
+	errs := make([]error, len(specs))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(specs) {
+					return
+				}
+				res, err := Run(specs[i])
+				results[i], errs[i] = res, err
+				if err == nil && progress != nil {
+					progress(i, res)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("shard %d of %d (%+v): %w", i, len(specs), specs[i], err)
+		}
+	}
+	return results, nil
+}

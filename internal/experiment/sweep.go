@@ -2,8 +2,6 @@ package experiment
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 	"time"
 )
 
@@ -101,45 +99,24 @@ func (sw *Sweep) Run() error {
 		}
 	}
 
-	par := sw.Opts.Parallelism
-	if par <= 0 {
-		par = runtime.GOMAXPROCS(0)
+	results, err := RunShards(specs, sw.Opts.Parallelism, func(i int, res RunResult) {
+		if sw.Opts.Progress != nil {
+			sw.Opts.Progress(fmt.Sprintf("%-28s slaves=%-2d users=%-3d tp=%6.2f ops/s delay=%9.1f ms",
+				specs[i].Loc, specs[i].Slaves, specs[i].Users, res.Throughput, res.AvgDelayMs))
+		}
+	})
+	if err != nil {
+		return fmt.Errorf("sweep: %w", err)
 	}
-	type outcome struct {
-		res RunResult
-		err error
-	}
-	results := make([]outcome, len(specs))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, par)
-	for i, spec := range specs {
-		i, spec := i, spec
-		wg.Add(1)
-		sem <- struct{}{}
-		go func() {
-			defer wg.Done()
-			defer func() { <-sem }()
-			res, err := Run(spec)
-			results[i] = outcome{res, err}
-			if sw.Opts.Progress != nil && err == nil {
-				sw.Opts.Progress(fmt.Sprintf("%-28s slaves=%-2d users=%-3d tp=%6.2f ops/s delay=%9.1f ms",
-					spec.Loc, spec.Slaves, spec.Users, res.Throughput, res.AvgDelayMs))
-			}
-		}()
-	}
-	wg.Wait()
 
 	sw.Results = make(map[Key]RunResult)
 	sw.Baselines = make(map[Key]RunResult)
-	for i, oc := range results {
-		if oc.err != nil {
-			return fmt.Errorf("sweep point %+v: %w", specs[i], oc.err)
-		}
-		k := Key{oc.res.Spec.Loc, oc.res.Spec.Slaves, oc.res.Spec.Users}
+	for _, res := range results {
+		k := Key{res.Spec.Loc, res.Spec.Slaves, res.Spec.Users}
 		if k.Users == 0 {
-			sw.Baselines[Key{k.Loc, k.Slaves, 0}] = oc.res
+			sw.Baselines[Key{k.Loc, k.Slaves, 0}] = res
 		} else {
-			sw.Results[k] = oc.res
+			sw.Results[k] = res
 		}
 	}
 	return nil

@@ -146,8 +146,12 @@ func (h *Histogram) SetCap(n int) { h.cap = n }
 func (h *Histogram) SetRand(rng *rand.Rand) { h.rng = rng }
 
 // Record adds one sample, evicting a uniformly-chosen earlier sample once
-// the reservoir is full.
+// the reservoir is full. A nil *Histogram (a disabled metrics registry's
+// instrument) discards the sample.
 func (h *Histogram) Record(d time.Duration) {
+	if h == nil {
+		return
+	}
 	h.total++
 	c := h.cap
 	if c <= 0 {
@@ -182,17 +186,35 @@ func (h *Histogram) randInt64(n int64) int64 {
 }
 
 // N returns the retained sample count (≤ the cap).
-func (h *Histogram) N() int { return len(h.samples) }
+func (h *Histogram) N() int {
+	if h == nil {
+		return 0
+	}
+	return len(h.samples)
+}
 
 // Total returns how many samples were ever recorded, including those the
 // reservoir evicted.
-func (h *Histogram) Total() uint64 { return h.total }
+func (h *Histogram) Total() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.total
+}
 
 // Samples returns the raw samples.
-func (h *Histogram) Samples() []time.Duration { return h.samples }
+func (h *Histogram) Samples() []time.Duration {
+	if h == nil {
+		return nil
+	}
+	return h.samples
+}
 
 // Float64s converts samples to milliseconds.
 func (h *Histogram) Float64s() []float64 {
+	if h == nil {
+		return nil
+	}
 	out := make([]float64, len(h.samples))
 	for i, d := range h.samples {
 		out[i] = float64(d) / float64(time.Millisecond)
@@ -205,7 +227,7 @@ func (h *Histogram) Summary() Summary { return Summarize(h.Float64s()) }
 
 // Percentile returns the q-quantile sample.
 func (h *Histogram) Percentile(q float64) time.Duration {
-	if len(h.samples) == 0 {
+	if h == nil || len(h.samples) == 0 {
 		return 0
 	}
 	sorted := append([]time.Duration(nil), h.samples...)

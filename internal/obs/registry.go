@@ -8,36 +8,67 @@ import (
 )
 
 // Counter is a monotone count. Publishers that snapshot an existing total
-// at the end of a run use Set; live instrumentation uses Add/Inc.
+// at the end of a run use Set; live instrumentation uses Add/Inc. A nil
+// *Counter (from a disabled registry) no-ops on every method, so call
+// sites need no guards and stay allocation-free.
 type Counter struct{ v float64 }
 
 // Inc adds one.
-func (c *Counter) Inc() { c.v++ }
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v++
+	}
+}
 
 // Add adds d.
-func (c *Counter) Add(d float64) { c.v += d }
+func (c *Counter) Add(d float64) {
+	if c != nil {
+		c.v += d
+	}
+}
 
 // Set replaces the count — snapshot-style publishing of a counter that is
 // maintained elsewhere (idempotent when publishing runs more than once).
-func (c *Counter) Set(v float64) { c.v = v }
+func (c *Counter) Set(v float64) {
+	if c != nil {
+		c.v = v
+	}
+}
 
 // Value returns the current count.
-func (c *Counter) Value() float64 { return c.v }
+func (c *Counter) Value() float64 {
+	if c == nil {
+		return 0
+	}
+	return c.v
+}
 
-// Gauge is a point-in-time value.
+// Gauge is a point-in-time value. A nil *Gauge no-ops, like a nil
+// *Counter.
 type Gauge struct{ v float64 }
 
 // Set replaces the value.
-func (g *Gauge) Set(v float64) { g.v = v }
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.v = v
+	}
+}
 
 // Value returns the current value.
-func (g *Gauge) Value() float64 { return g.v }
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return g.v
+}
 
 // Registry is the central named-metric store the middleware publishes into:
 // counters, gauges and (reservoir-sampled) duration histograms, snapshotted
 // into the bench's -json output. Metric names are dotted lowercase,
 // "<component>.<metric>" — e.g. "proxy.retries", "pool.waits",
-// "client.exec". The zero Registry is not usable; call NewRegistry.
+// "client.exec". The zero Registry is not usable; call NewRegistry. A nil
+// *Registry is "metrics off": every lookup returns a nil instrument whose
+// methods no-op, so instrumented code runs unguarded and unallocating.
 type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
@@ -59,10 +90,18 @@ func NewRegistry() *Registry {
 // SetRand injects the RNG new histograms sample their reservoirs with,
 // keeping eviction choices on the env-threaded random stream. Histograms
 // created before the call keep their previous source.
-func (r *Registry) SetRand(rng *rand.Rand) { r.rng = rng }
+func (r *Registry) SetRand(rng *rand.Rand) {
+	if r != nil {
+		r.rng = rng
+	}
+}
 
-// Counter returns the named counter, creating it on first use.
+// Counter returns the named counter, creating it on first use (nil on a
+// nil registry).
 func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
 	c := r.counters[name]
 	if c == nil {
 		c = &Counter{}
@@ -71,8 +110,12 @@ func (r *Registry) Counter(name string) *Counter {
 	return c
 }
 
-// Gauge returns the named gauge, creating it on first use.
+// Gauge returns the named gauge, creating it on first use (nil on a nil
+// registry).
 func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
 	g := r.gauges[name]
 	if g == nil {
 		g = &Gauge{}
@@ -82,8 +125,11 @@ func (r *Registry) Gauge(name string) *Gauge {
 }
 
 // Histogram returns the named duration histogram, creating it on first use
-// with the registry's reservoir RNG.
+// with the registry's reservoir RNG (nil on a nil registry).
 func (r *Registry) Histogram(name string) *metrics.Histogram {
+	if r == nil {
+		return nil
+	}
 	h := r.hists[name]
 	if h == nil {
 		h = &metrics.Histogram{}

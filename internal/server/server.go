@@ -298,7 +298,7 @@ func (s *DBServer) Apply(p *sim.Proc, sess *sqlengine.Session, e binlog.Entry) e
 			return err
 		}
 	}
-	res, err := sess.Exec(e.SQL)
+	res, err := sess.ExecUncached(e.SQL)
 	if err != nil {
 		return err
 	}

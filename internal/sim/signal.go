@@ -12,11 +12,17 @@ type Signal struct {
 	waiters []*sigWaiter
 }
 
+// sigWaiter records one blocked process. Waiters are pooled on the Env:
+// the waiting process owns its waiter and frees it when Wait/WaitTimeout
+// returns, so neither the signal (waiters are unlinked before wakeup) nor
+// the timer event (tombstoned or already fired) can reach a recycled one.
 type sigWaiter struct {
 	p        *Proc
+	s        *Signal
 	woken    bool
 	timedOut bool
-	cancel   func() // cancels the timeout event, nil when no timeout
+	timer    *event // pending timeout event, nil when no timeout
+	timerGen uint64 // generation guard for cancelling timer
 }
 
 // NewSignal creates a Signal bound to env.
@@ -35,29 +41,77 @@ func (s *Signal) Name() string { return s.name }
 // Waiting returns the number of blocked waiters.
 func (s *Signal) Waiting() int { return len(s.waiters) }
 
+// allocWaiter takes a waiter off the Env free list, or allocates one.
+func (e *Env) allocWaiter() *sigWaiter {
+	if n := len(e.wfree); n > 0 {
+		w := e.wfree[n-1]
+		e.wfree[n-1] = nil
+		e.wfree = e.wfree[:n-1]
+		return w
+	}
+	return &sigWaiter{}
+}
+
+func (e *Env) freeWaiter(w *sigWaiter) {
+	w.p = nil
+	w.s = nil
+	w.woken = false
+	w.timedOut = false
+	w.timer = nil
+	w.timerGen = 0
+	e.wfree = append(e.wfree, w)
+}
+
 // Wait blocks the calling process until the next Broadcast.
 func (s *Signal) Wait(p *Proc) {
-	w := &sigWaiter{p: p}
+	e := s.env
+	w := e.allocWaiter()
+	w.p = p
+	w.s = s
 	s.waiters = append(s.waiters, w)
 	p.wait(ParkSignal, s.name)
+	e.freeWaiter(w)
 }
 
 // WaitTimeout blocks until the next Broadcast or until d elapses. It reports
-// whether the signal arrived (false on timeout).
+// whether the signal arrived (false on timeout). The timeout is a kernel
+// event carrying the waiter itself — no closure, and its near-universal
+// cancellation (waits usually succeed) is absorbed by the queue's tombstone
+// compaction.
 func (s *Signal) WaitTimeout(p *Proc, d time.Duration) bool {
-	w := &sigWaiter{p: p}
-	w.cancel = s.env.Schedule(d, func() {
-		if w.woken {
-			return
-		}
-		w.woken = true
-		w.timedOut = true
-		s.remove(w)
-		s.env.scheduleProc(s.env.now, p)
-	})
+	e := s.env
+	w := e.allocWaiter()
+	w.p = p
+	w.s = s
+	if d < 0 {
+		d = 0
+	}
+	ev := e.allocEvent()
+	ev.at = e.now + d
+	ev.w = w
+	e.push(ev)
+	w.timer = ev
+	w.timerGen = ev.gen
 	s.waiters = append(s.waiters, w)
 	p.wait(ParkSignal, s.name)
-	return !w.timedOut
+	timedOut := w.timedOut
+	e.freeWaiter(w)
+	return !timedOut
+}
+
+// signalTimeout fires a WaitTimeout deadline: the kernel dispatches it when
+// the timer event pops. The waiter is still live — it is freed only by the
+// blocked process after it resumes — so the check-and-wake is safe even if
+// a Broadcast won the same instant.
+func (e *Env) signalTimeout(w *sigWaiter) {
+	if w.woken {
+		return
+	}
+	w.woken = true
+	w.timedOut = true
+	w.timer = nil
+	w.s.remove(w)
+	e.scheduleProc(e.now, w.p)
 }
 
 func (s *Signal) remove(w *sigWaiter) {
@@ -77,8 +131,9 @@ func (s *Signal) Broadcast() {
 			continue
 		}
 		w.woken = true
-		if w.cancel != nil {
-			w.cancel()
+		if w.timer != nil {
+			s.env.cancelEvent(w.timer, w.timerGen)
+			w.timer = nil
 		}
 		s.env.scheduleProc(s.env.now, w.p)
 	}

@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"math/rand"
@@ -18,44 +17,26 @@ type Time = time.Duration
 // MaxTime is the largest representable virtual time.
 const MaxTime Time = math.MaxInt64
 
-// event is a scheduled occurrence: either a process wakeup or a callback.
+// event is a scheduled occurrence: a process wakeup, a callback, a message
+// delivery, or a signal timeout. Exactly one of proc/fn/msg/w is set.
+// Events are pooled on the Env free list; gen increments on every recycle
+// so a cancel handle captured before the event fired cannot cancel an
+// unrelated reincarnation.
 type event struct {
 	at        Time
 	seq       uint64 // tie-breaker: schedule order
+	gen       uint64 // recycle generation, guards stale cancels
 	proc      *Proc  // non-nil for a process wakeup
 	fn        func() // non-nil for a callback
+	msg       Deliverable
+	w         *sigWaiter // non-nil for a Signal.WaitTimeout timer
 	cancelled bool
-	index     int // heap index, -1 when popped
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	ev := x.(*event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*h = old[:n-1]
-	return ev
-}
+// Deliverable is a pre-allocated event payload: ScheduleDeliver queues it
+// without the closure allocation that Schedule's fn costs. The network
+// layer's message deliveries are the hot-path user.
+type Deliverable interface{ Deliver() }
 
 type yieldKind int
 
@@ -78,17 +59,19 @@ type shutdownSentinel struct{}
 // calling Run and friends); simulation processes themselves are goroutines
 // that the scheduler resumes one at a time.
 type Env struct {
-	now     Time
-	queue   eventHeap
-	seq     uint64
-	rng     *rand.Rand
-	cur     *Proc
-	yield   chan yieldMsg
-	doneCh  chan struct{}
-	killTok chan struct{}
-	alive   int // processes started and not yet finished
-	stopped bool
-	closed  bool
+	now       Time
+	queue     calQueue
+	seq       uint64
+	processed uint64 // events dispatched since creation
+	rng       *rand.Rand
+	cur       *Proc
+	yield     chan yieldMsg
+	alive     int // processes started and not yet finished
+	stopped   bool
+	closed    bool
+
+	efree []*event     // recycled event structs
+	wfree []*sigWaiter // recycled signal waiters
 
 	panicVal   any
 	panicStack []byte
@@ -102,13 +85,13 @@ type Env struct {
 // Two environments with the same seed and the same process program produce
 // identical event orderings.
 func NewEnv(seed int64) *Env {
-	return &Env{
-		rng:     rand.New(rand.NewSource(seed)),
-		yield:   make(chan yieldMsg),
-		doneCh:  make(chan struct{}),
-		killTok: make(chan struct{}, 1),
-		procs:   make(map[uint64]*Proc),
+	e := &Env{
+		rng:   rand.New(rand.NewSource(seed)),
+		yield: make(chan yieldMsg),
+		procs: make(map[uint64]*Proc),
 	}
+	e.queue.free = e.freeEvent
+	return e
 }
 
 // Now returns the current virtual time.
@@ -119,46 +102,116 @@ func (e *Env) Now() Time { return e.now }
 // serialized, so no locking is needed).
 func (e *Env) Rand() *rand.Rand { return e.rng }
 
-// Pending reports the number of live (not cancelled) scheduled events.
-func (e *Env) Pending() int {
-	n := 0
-	for _, ev := range e.queue {
-		if !ev.cancelled {
-			n++
-		}
-	}
-	return n
-}
+// Pending reports the number of live (not cancelled) scheduled events. It is
+// O(1): the queue maintains the count across push/pop/cancel.
+func (e *Env) Pending() int { return e.queue.live }
+
+// Events reports the total number of events dispatched since the Env was
+// created (cancelled events are not counted). It is the denominator of the
+// kernel benchmark's events/sec.
+func (e *Env) Events() uint64 { return e.processed }
 
 // Alive reports the number of processes that have been started and have not
 // yet returned.
 func (e *Env) Alive() int { return e.alive }
 
+// allocEvent takes an event struct off the free list, or allocates one.
+// Ownership: the queue owns a pushed event until it is popped or discarded
+// as a tombstone; the kernel frees it before dispatch, so payload fields
+// must be captured first and no pointer to the event may outlive that.
+func (e *Env) allocEvent() *event {
+	if n := len(e.efree); n > 0 {
+		ev := e.efree[n-1]
+		e.efree[n-1] = nil
+		e.efree = e.efree[:n-1]
+		return ev
+	}
+	return &event{}
+}
+
+// freeEvent recycles ev, bumping its generation so stale cancel handles
+// become no-ops.
+func (e *Env) freeEvent(ev *event) {
+	ev.gen++
+	ev.at = 0
+	ev.seq = 0
+	ev.proc = nil
+	ev.fn = nil
+	ev.msg = nil
+	ev.w = nil
+	ev.cancelled = false
+	e.efree = append(e.efree, ev)
+}
+
 func (e *Env) push(ev *event) *event {
 	e.seq++
 	ev.seq = e.seq
-	heap.Push(&e.queue, ev)
+	e.queue.push(ev)
 	return ev
+}
+
+// cancelEvent tombstones ev if it is still the same incarnation (gen
+// matches) and still queued. Safe to call any number of times, including
+// after the event fired and its struct was recycled.
+func (e *Env) cancelEvent(ev *event, gen uint64) {
+	if ev == nil || ev.gen != gen || ev.cancelled {
+		return
+	}
+	e.queue.cancel(ev)
 }
 
 // Schedule arranges for fn to run at virtual time Now()+d. Callbacks run on
 // the scheduler goroutine and must not block on kernel primitives. The
-// returned cancel function is safe to call at most once, from scheduler
-// context, and is a no-op if the event already fired.
+// returned cancel function may be called any number of times, from scheduler
+// context, and is a no-op once the event has fired. Hot paths that never
+// cancel should use After, which skips the cancel-handle allocation.
 func (e *Env) Schedule(d time.Duration, fn func()) (cancel func()) {
 	if d < 0 {
 		d = 0
 	}
-	ev := e.push(&event{at: e.now + d, fn: fn})
-	return func() { ev.cancelled = true }
+	ev := e.allocEvent()
+	ev.at = e.now + d
+	ev.fn = fn
+	e.push(ev)
+	gen := ev.gen
+	return func() { e.cancelEvent(ev, gen) }
+}
+
+// After arranges for fn to run at virtual time Now()+d, like Schedule, but
+// without materializing a cancel handle.
+func (e *Env) After(d time.Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	ev := e.allocEvent()
+	ev.at = e.now + d
+	ev.fn = fn
+	e.push(ev)
+}
+
+// ScheduleDeliver arranges for m.Deliver() to run at virtual time Now()+d.
+// Unlike Schedule(d, func(){ ... }) this allocates nothing beyond what the
+// caller already holds: the payload is the caller's own Deliverable and the
+// event struct comes from the free list.
+func (e *Env) ScheduleDeliver(d time.Duration, m Deliverable) {
+	if d < 0 {
+		d = 0
+	}
+	ev := e.allocEvent()
+	ev.at = e.now + d
+	ev.msg = m
+	e.push(ev)
 }
 
 // scheduleProc arranges for p to resume at time at.
-func (e *Env) scheduleProc(at Time, p *Proc) *event {
+func (e *Env) scheduleProc(at Time, p *Proc) {
 	if at < e.now {
 		at = e.now
 	}
-	return e.push(&event{at: at, proc: p})
+	ev := e.allocEvent()
+	ev.at = at
+	ev.proc = p
+	e.push(ev)
 }
 
 // ParkKind classifies what a blocked process is waiting for; it feeds the
@@ -259,10 +312,9 @@ func (e *Env) Go(name string, fn func(p *Proc)) *Proc {
 			}
 			e.yield <- yieldMsg{p, yieldDone}
 		}()
-		select {
-		case <-p.resume:
-		case <-e.doneCh:
-			e.awaitKill()
+		<-p.resume
+		if e.closed {
+			panic(shutdownSentinel{})
 		}
 		p.parkKind, p.parkObj = ParkNone, ""
 		fn(p)
@@ -282,23 +334,15 @@ func (p *Proc) wait(kind ParkKind, obj string) {
 	}
 	p.parkKind, p.parkObj = kind, obj
 	e.yield <- yieldMsg{p, yieldBlocked}
-	select {
-	case <-p.resume:
-	case <-e.doneCh:
-		e.awaitKill()
+	// A plain receive, not a select: this handshake runs once per resumed
+	// process and a two-way select here costs ~25% of pure-kernel time.
+	// Shutdown wakes parked processes through this same channel and the
+	// closed flag turns the wakeup into an unwind.
+	<-p.resume
+	if e.closed {
+		panic(shutdownSentinel{})
 	}
 	p.parkKind, p.parkObj = ParkNone, ""
-}
-
-// awaitKill serializes process teardown during Shutdown. Every parked
-// process observes the closed doneCh at once, but each must take the kill
-// token before unwinding so that deferred cleanup (which may touch state
-// shared between processes) keeps the kernel's one-process-at-a-time
-// guarantee; Shutdown hands out one token per process and waits for its
-// unwind to finish before issuing the next.
-func (e *Env) awaitKill() {
-	<-e.killTok
-	panic(shutdownSentinel{})
 }
 
 // Sleep suspends the process for virtual duration d (non-positive durations
@@ -319,33 +363,41 @@ func (p *Proc) SleepUntil(t Time) {
 }
 
 // step executes the next event. It returns false when the queue is empty.
+// The event struct is recycled before dispatch — payloads are captured
+// first, and nothing downstream may retain the pointer.
 func (e *Env) step() bool {
-	for len(e.queue) > 0 {
-		ev := heap.Pop(&e.queue).(*event)
-		if ev.cancelled {
-			continue
-		}
-		if ev.at > e.now {
-			e.now = ev.at
-		}
-		if ev.fn != nil {
-			ev.fn()
-			e.checkPanic()
-			return true
-		}
-		p := ev.proc
+	ev, idx := e.queue.locate()
+	if ev == nil {
+		return false
+	}
+	e.queue.popLocated(idx)
+	at, fn, msg, w, p := ev.at, ev.fn, ev.msg, ev.w, ev.proc
+	e.freeEvent(ev)
+	if at > e.now {
+		e.now = at
+	}
+	e.processed++
+	switch {
+	case fn != nil:
+		fn()
+		e.checkPanic()
+	case msg != nil:
+		msg.Deliver()
+		e.checkPanic()
+	case w != nil:
+		e.signalTimeout(w)
+	default:
 		e.cur = p
 		p.resume <- struct{}{}
-		msg := <-e.yield
+		m := <-e.yield
 		e.cur = nil
-		if msg.kind == yieldDone {
+		if m.kind == yieldDone {
 			e.alive--
-			delete(e.procs, msg.p.id)
+			delete(e.procs, m.p.id)
 		}
 		e.checkPanic()
-		return true
 	}
-	return false
+	return true
 }
 
 func (e *Env) checkPanic() {
@@ -364,23 +416,19 @@ func (e *Env) Run() {
 }
 
 // RunUntil executes all events scheduled at or before t, then advances the
-// clock to exactly t. Later events remain queued.
+// clock to exactly t. Later events remain queued. If Stop is called from an
+// event, the clock stays where the last event left it — it does not jump to
+// t past events that are still runnable.
 func (e *Env) RunUntil(t Time) {
 	e.stopped = false
 	for !e.stopped {
-		if len(e.queue) == 0 {
-			break
-		}
 		next := e.peek()
-		if next == nil {
-			break
-		}
-		if next.at > t {
+		if next == nil || next.at > t {
 			break
 		}
 		e.step()
 	}
-	if e.now < t {
+	if !e.stopped && e.now < t {
 		e.now = t
 	}
 }
@@ -390,14 +438,8 @@ func (e *Env) RunFor(d time.Duration) { e.RunUntil(e.now + d) }
 
 // peek returns the earliest non-cancelled event without removing it.
 func (e *Env) peek() *event {
-	for len(e.queue) > 0 {
-		ev := e.queue[0]
-		if !ev.cancelled {
-			return ev
-		}
-		heap.Pop(&e.queue)
-	}
-	return nil
+	ev, _ := e.queue.locate()
+	return ev
 }
 
 // Stop makes the current Run/RunUntil/RunFor call return after the event in
@@ -482,18 +524,25 @@ func (e *Env) Shutdown() {
 		return
 	}
 	e.closed = true
-	close(e.doneCh)
-	// Every alive process is parked: either in wait()'s select or in the
-	// wrapper's initial select, both of which observe doneCh and park on the
-	// kill token. No process can be running because Shutdown is called from
-	// the scheduler goroutine between events. Issue one token at a time and
-	// wait for that process to finish unwinding before releasing the next,
-	// so deferred cleanup never runs concurrently across processes.
-	remaining := e.alive
+	// Every alive process is parked on its own resume channel — either in
+	// wait() or in the spawn preamble — and observes the closed flag when
+	// woken. No process can be running because Shutdown is called from the
+	// scheduler goroutine between events. Wake one process at a time, in
+	// spawn order, and wait for it to finish unwinding before waking the
+	// next, so deferred cleanup never runs concurrently across processes.
+	ids := make([]uint64, 0, len(e.procs))
+	for id := range e.procs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	watchdog := time.NewTimer(shutdownWatchdog)
 	defer watchdog.Stop()
-	for remaining > 0 {
-		e.killTok <- struct{}{}
+	for _, id := range ids {
+		p, live := e.procs[id]
+		if !live {
+			continue
+		}
+		p.resume <- struct{}{}
 		waitDone := true
 		for waitDone {
 			if !watchdog.Stop() {
@@ -506,7 +555,6 @@ func (e *Env) Shutdown() {
 			select {
 			case msg := <-e.yield:
 				if msg.kind == yieldDone {
-					remaining--
 					e.alive--
 					delete(e.procs, msg.p.id)
 					waitDone = false
@@ -514,7 +562,7 @@ func (e *Env) Shutdown() {
 			case <-watchdog.C:
 				panic(fmt.Sprintf(
 					"sim: deadlock during Shutdown: %d process(es) failed to unwind within %v\nwait-for graph:\n%s",
-					remaining, shutdownWatchdog, e.WaitForGraph()))
+					e.alive, shutdownWatchdog, e.WaitForGraph()))
 			}
 		}
 	}

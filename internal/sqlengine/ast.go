@@ -172,10 +172,20 @@ type InsertStmt struct {
 
 func (s *InsertStmt) String() string {
 	var b strings.Builder
+	// Sized for the common one-row insert: replication interpolates every
+	// write through here, so repeated Builder growth is measurable.
+	b.Grow(64 + 16*len(s.Columns) + 24*len(s.Rows)*(1+len(s.Columns)))
 	b.WriteString("INSERT INTO ")
 	b.WriteString(s.Table.String())
 	if len(s.Columns) > 0 {
-		b.WriteString(" (" + strings.Join(s.Columns, ", ") + ")")
+		b.WriteString(" (")
+		for i, c := range s.Columns {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(c)
+		}
+		b.WriteString(")")
 	}
 	b.WriteString(" VALUES ")
 	for i, row := range s.Rows {
@@ -388,7 +398,20 @@ func (*Param) String() string { return "?" }
 func (*Param) expr()          {}
 
 // ColRef references a column, optionally qualified by table name or alias.
-type ColRef struct{ Table, Name string }
+// The unexported fields memoize name resolution: parsed ASTs are cached
+// and re-executed many times, and resolving the same column to the same
+// position on every row was the single hottest line of the executor. The
+// cache is written only under the engine's execution mutex (the binder
+// shares ColRef nodes rather than cloning them, so bound statements reuse
+// it too) and is keyed by table pointer, so DDL that rebuilds a table
+// invalidates it naturally.
+type ColRef struct {
+	Table, Name string
+
+	lname string // Table lowered once, "" until first qualified resolve
+	ctbl  *Table // table the ref last resolved against
+	cpos  int    // column position in ctbl
+}
 
 func (c *ColRef) String() string {
 	if c.Table != "" {

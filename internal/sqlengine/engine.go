@@ -64,7 +64,9 @@ type Result struct {
 	Set   *ResultSet // nil for non-SELECT
 	Stats ExecStats
 	// SQL is the fully-bound statement text (parameters interpolated) —
-	// what a statement-format binlog records for write statements.
+	// what a statement-format binlog records for write statements. Reads
+	// leave it empty: nothing replicates a SELECT, and rendering one per
+	// query was a measurable share of hot-path allocation.
 	SQL string
 	// RowSQL carries the row-image statements (one per affected row) that
 	// a row-format binlog records instead of SQL.
@@ -196,6 +198,18 @@ func (s *Session) InTxn() bool { return s.inTxn }
 // Exec parses (with caching), binds args and executes one statement.
 func (s *Session) Exec(sql string, args ...Value) (*Result, error) {
 	stmt, err := s.eng.parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return s.ExecStmt(stmt, args...)
+}
+
+// ExecUncached parses and executes one statement without touching the
+// parse cache. Replication apply uses it: replicated texts carry
+// interpolated literals, so they would never hit the cache again — caching
+// them only grows it without bound over a run.
+func (s *Session) ExecUncached(sql string, args ...Value) (*Result, error) {
+	stmt, err := Parse(sql)
 	if err != nil {
 		return nil, err
 	}

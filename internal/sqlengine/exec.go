@@ -388,7 +388,7 @@ func (e *Engine) execSelect(s *Session, st *SelectStmt) (*Result, error) {
 			cols = append(cols, selectColName(se))
 		}
 		stats.RowsReturned = 1
-		return &Result{Set: &ResultSet{Columns: cols, Rows: [][]Value{row}}, Stats: stats, SQL: st.String()}, nil
+		return &Result{Set: &ResultSet{Columns: cols, Rows: [][]Value{row}}, Stats: stats}, nil
 	}
 
 	// Resolve tables into the scope.
@@ -412,11 +412,16 @@ func (e *Engine) execSelect(s *Session, st *SelectStmt) (*Result, error) {
 	stats.UsedIndex = usedIdx
 	stats.RowsExamined += len(cands)
 
-	cur := make([]jrow, 0, len(cands))
-	for _, r := range cands {
-		row := make(jrow, len(sc.tables))
+	// One flat backing array for the initial working rows instead of one
+	// heap object per candidate — the scan is the per-query allocation
+	// hot spot.
+	nt := len(sc.tables)
+	cur := make([]jrow, len(cands))
+	flat := make(jrow, len(cands)*nt)
+	for i, r := range cands {
+		row := flat[i*nt : (i+1)*nt : (i+1)*nt]
 		row[0] = r.vals
-		cur = append(cur, row)
+		cur[i] = row
 	}
 
 	// Nested-loop joins, with index lookup on `right.col = expr(left)` when
@@ -426,6 +431,18 @@ func (e *Engine) execSelect(s *Session, st *SelectStmt) (*Result, error) {
 		rightIdx := ji + 1
 		eqCol, eqExpr := joinEqPattern(j.On, strings.ToLower(j.Table.refName()), jt)
 		var next []jrow
+		// Matched rows are copied out of chunked backing arrays rather than
+		// one heap object per match.
+		var jchunk jrow
+		copyRow := func(row jrow) jrow {
+			if len(jchunk) < nt {
+				jchunk = make(jrow, 64*nt)
+			}
+			out := jchunk[0:nt:nt]
+			jchunk = jchunk[nt:]
+			copy(out, row)
+			return out
+		}
 		for _, row := range cur {
 			setScope(sc, row)
 			var matches []*Row
@@ -454,15 +471,11 @@ func (e *Engine) execSelect(s *Session, st *SelectStmt) (*Result, error) {
 					continue
 				}
 				matched = true
-				out := make(jrow, len(row))
-				copy(out, row)
-				next = append(next, out)
+				next = append(next, copyRow(row))
 			}
 			row[rightIdx] = nil
 			if !matched && j.Left {
-				out := make(jrow, len(row))
-				copy(out, row)
-				next = append(next, out)
+				next = append(next, copyRow(row))
 			}
 		}
 		cur = next
@@ -508,7 +521,7 @@ func (e *Engine) execSelect(s *Session, st *SelectStmt) (*Result, error) {
 		return nil, err
 	}
 	stats.RowsReturned = len(set.Rows)
-	return &Result{Set: set, Stats: stats, SQL: st.String()}, nil
+	return &Result{Set: set, Stats: stats}, nil
 }
 
 func setScope(sc *scope, row jrow) {
@@ -556,25 +569,154 @@ type sortableRow struct {
 
 func (e *Engine) plainSelect(sc *scope, st *SelectStmt, rows []jrow) (*ResultSet, error) {
 	cols := projectionColumns(sc, st)
+	// One alias map per query, values overwritten per row (orderKeys reads
+	// them before the next row) — and none at all unless ORDER BY could
+	// reference an alias. The per-row map was the engine's top allocator.
+	aliases := aliasMapFor(st)
+	width, nk := len(cols), len(st.OrderBy)
+	if top, ok := topNBound(st, e, aliases); ok && top < len(rows) {
+		return e.topNSelect(sc, st, rows, cols, top)
+	}
 	out := make([]sortableRow, 0, len(rows))
-	for _, row := range rows {
+	// All rows' projections and sort keys live in one backing array sized
+	// up front: one allocation per query instead of one per row (full scans
+	// with ORDER BY were the engine's top allocator). The full-cap reslices
+	// keep each row's region — and its proj/keys halves — disjoint; if a
+	// projection ever outgrows its stride, append spills it to a fresh
+	// array and the reserved region simply goes unused.
+	stride := width + nk
+	backing := make([]Value, len(rows)*stride)
+	for i, row := range rows {
 		setScope(sc, row)
-		proj, aliases, err := projectRow(sc, st)
+		buf := backing[i*stride : i*stride : (i+1)*stride]
+		buf, err := appendProjection(buf, sc, st, aliases)
 		if err != nil {
 			return nil, err
 		}
-		keys, err := orderKeys(sc, st, aliases, nil, nil)
+		projLen := len(buf)
+		buf, err = appendOrderKeys(buf, sc, st, aliases, nil, nil)
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, sortableRow{proj, keys})
+		out = append(out, sortableRow{buf[:projLen:projLen], buf[projLen:]})
 	}
 	sortRows(st, out)
-	set := &ResultSet{Columns: cols}
-	for _, r := range out {
-		set.Rows = append(set.Rows, r.proj)
+	set := &ResultSet{Columns: cols, Rows: make([][]Value, len(out))}
+	for i, r := range out {
+		set.Rows[i] = r.proj
 	}
 	return set, nil
+}
+
+// topNBound reports how many leading sorted rows the query can ever return
+// (LIMIT + OFFSET) when bounded selection is equivalent to sorting
+// everything: ORDER BY present, constant LIMIT/OFFSET, no DISTINCT (which
+// dedups before the limit), and no SELECT alias in play (aliases force
+// projection-first evaluation).
+func topNBound(st *SelectStmt, eng *Engine, aliases map[string]Value) (int, bool) {
+	if len(st.OrderBy) == 0 || st.Distinct || st.Limit == nil || aliases != nil {
+		return 0, false
+	}
+	lv, ok := constEval(st.Limit, eng)
+	if !ok {
+		return 0, false
+	}
+	n := int(lv.Int())
+	if st.Offset != nil {
+		ov, ok := constEval(st.Offset, eng)
+		if !ok {
+			return 0, false
+		}
+		n += int(ov.Int())
+	}
+	if n < 0 {
+		return 0, false
+	}
+	return n, true
+}
+
+// topNSelect keeps only the top rows of the stable sort order while
+// scanning: each row's sort keys are computed first, rows that cannot make
+// the cut are dropped before their projection is ever evaluated, and
+// survivors are inserted into a bounded buffer kept in stable sorted order
+// (ties lose to rows already present, exactly as a stable full sort would
+// place them). The result is byte-identical to sort-everything-then-limit
+// at a fraction of the cost: ORDER BY ... LIMIT over a full scan is the
+// workload's hottest read shape.
+func (e *Engine) topNSelect(sc *scope, st *SelectStmt, rows []jrow, cols []string, top int) (*ResultSet, error) {
+	width, nk := len(cols), len(st.OrderBy)
+	lessKeys := func(a, b []Value) bool {
+		for k := range st.OrderBy {
+			c := Compare(a[k], b[k])
+			if c == 0 {
+				continue
+			}
+			if st.OrderBy[k].Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	}
+	best := make([]sortableRow, 0, top)
+	scratch := make([]Value, 0, nk)
+	// Accepted rows draw their backing from chunks: a scan that arrives in
+	// worst-case order (every row beats the current cut) would otherwise
+	// allocate per row. Evicted rows' regions are simply abandoned — memory
+	// stays bounded by the scan size, exactly like the sort-everything path.
+	stride := width + nk
+	var chunk []Value
+	for _, row := range rows {
+		setScope(sc, row)
+		scratch = scratch[:0]
+		var err error
+		scratch, err = appendOrderKeys(scratch, sc, st, nil, nil, nil)
+		if err != nil {
+			return nil, err
+		}
+		if len(best) == top && (top == 0 || !lessKeys(scratch, best[len(best)-1].keys)) {
+			continue
+		}
+		if len(chunk) < stride {
+			chunk = make([]Value, 64*stride)
+		}
+		buf := chunk[0:0:stride]
+		chunk = chunk[stride:]
+		buf, err = appendProjection(buf, sc, st, nil)
+		if err != nil {
+			return nil, err
+		}
+		projLen := len(buf)
+		buf = append(buf, scratch...)
+		nr := sortableRow{buf[:projLen:projLen], buf[projLen:]}
+		pos := sort.Search(len(best), func(i int) bool { return lessKeys(nr.keys, best[i].keys) })
+		if len(best) == top {
+			best = best[:len(best)-1] // evict the worst; pos ≤ len-1 since nr beat it
+		}
+		best = append(best, sortableRow{})
+		copy(best[pos+1:], best[pos:])
+		best[pos] = nr
+	}
+	set := &ResultSet{Columns: cols, Rows: make([][]Value, len(best))}
+	for i, r := range best {
+		set.Rows[i] = r.proj
+	}
+	return set, nil
+}
+
+// aliasMapFor returns a reusable SELECT-alias map when st's ORDER BY could
+// resolve against one, nil otherwise (projectRow skips alias bookkeeping
+// on nil).
+func aliasMapFor(st *SelectStmt) map[string]Value {
+	if len(st.OrderBy) == 0 {
+		return nil
+	}
+	for _, se := range st.Exprs {
+		if se.Alias != "" {
+			return make(map[string]Value, 4)
+		}
+	}
+	return nil
 }
 
 // aggSelect groups rows and evaluates aggregate projections per group.
@@ -590,20 +732,21 @@ func (e *Engine) aggSelect(sc *scope, st *SelectStmt, rows []jrow) (*ResultSet, 
 		g.rows = rows
 		groups = append(groups, g)
 	} else {
+		var kb []byte // reused per row; a string materializes only on a new group
 		for _, row := range rows {
 			setScope(sc, row)
-			var kb strings.Builder
+			kb = kb[:0]
 			for _, ge := range st.GroupBy {
 				v, err := sc.eval(ge)
 				if err != nil {
 					return nil, err
 				}
-				kb.WriteString(v.key())
-				kb.WriteByte(0x1f)
+				kb = v.appendKey(kb)
+				kb = append(kb, 0x1f)
 			}
-			k := kb.String()
-			g, ok := index[k]
+			g, ok := index[string(kb)]
 			if !ok {
+				k := string(kb)
 				g = &group{key: k}
 				index[k] = g
 				groups = append(groups, g)
@@ -613,7 +756,8 @@ func (e *Engine) aggSelect(sc *scope, st *SelectStmt, rows []jrow) (*ResultSet, 
 	}
 
 	cols := projectionColumns(sc, st)
-	var out []sortableRow
+	aliases := aliasMapFor(st)
+	out := make([]sortableRow, 0, len(groups))
 	for _, g := range groups {
 		if st.Having != nil {
 			v, err := evalAgg(sc, st.Having, g.rows)
@@ -624,8 +768,8 @@ func (e *Engine) aggSelect(sc *scope, st *SelectStmt, rows []jrow) (*ResultSet, 
 				continue
 			}
 		}
-		var proj []Value
-		aliases := map[string]Value{}
+		// Shared backing array for projection + keys, as in plainSelect.
+		buf := make([]Value, 0, len(cols)+len(st.OrderBy))
 		for _, se := range st.Exprs {
 			if se.Star {
 				return nil, fmt.Errorf("sqlengine: SELECT * cannot be mixed with aggregates")
@@ -634,16 +778,17 @@ func (e *Engine) aggSelect(sc *scope, st *SelectStmt, rows []jrow) (*ResultSet, 
 			if err != nil {
 				return nil, err
 			}
-			proj = append(proj, v)
-			if se.Alias != "" {
+			buf = append(buf, v)
+			if se.Alias != "" && aliases != nil {
 				aliases[strings.ToLower(se.Alias)] = v
 			}
 		}
-		keys, err := orderKeys(sc, st, aliases, g.rows, evalAgg)
+		projLen := len(buf)
+		buf, err := appendOrderKeys(buf, sc, st, aliases, g.rows, evalAgg)
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, sortableRow{proj, keys})
+		out = append(out, sortableRow{buf[:projLen:projLen], buf[projLen:]})
 	}
 	sortRows(st, out)
 	set := &ResultSet{Columns: cols}
@@ -783,10 +928,12 @@ func selectColName(se SelectExpr) string {
 	return se.Expr.String()
 }
 
-// projectRow evaluates the projection for the current scope row.
-func projectRow(sc *scope, st *SelectStmt) ([]Value, map[string]Value, error) {
-	var proj []Value
-	aliases := map[string]Value{}
+// appendProjection evaluates the projection for the current scope row,
+// appending onto buf (callers size buf for projection + ORDER BY keys so
+// both live in one allocation). Aliased values are published into aliases
+// when the caller passes one (nil means no ORDER BY alias can need them).
+func appendProjection(buf []Value, sc *scope, st *SelectStmt, aliases map[string]Value) ([]Value, error) {
+	proj := buf
 	for _, se := range st.Exprs {
 		if se.Star {
 			for _, t := range sc.tables {
@@ -802,28 +949,25 @@ func projectRow(sc *scope, st *SelectStmt) ([]Value, map[string]Value, error) {
 		}
 		v, err := sc.eval(se.Expr)
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 		proj = append(proj, v)
-		if se.Alias != "" {
+		if se.Alias != "" && aliases != nil {
 			aliases[strings.ToLower(se.Alias)] = v
 		}
 	}
-	return proj, aliases, nil
+	return proj, nil
 }
 
-// orderKeys computes ORDER BY sort keys for the current row/group. Bare
-// column references matching a projection alias use the projected value.
-func orderKeys(sc *scope, st *SelectStmt, aliases map[string]Value, group []jrow,
+// appendOrderKeys computes ORDER BY sort keys for the current row/group,
+// appending onto buf. Bare column references matching a projection alias
+// use the projected value.
+func appendOrderKeys(buf []Value, sc *scope, st *SelectStmt, aliases map[string]Value, group []jrow,
 	aggEval func(*scope, Expr, []jrow) (Value, error)) ([]Value, error) {
-	if len(st.OrderBy) == 0 {
-		return nil, nil
-	}
-	keys := make([]Value, len(st.OrderBy))
-	for i, item := range st.OrderBy {
+	for _, item := range st.OrderBy {
 		if c, ok := item.Expr.(*ColRef); ok && c.Table == "" {
 			if v, hit := aliases[strings.ToLower(c.Name)]; hit {
-				keys[i] = v
+				buf = append(buf, v)
 				continue
 			}
 		}
@@ -837,28 +981,42 @@ func orderKeys(sc *scope, st *SelectStmt, aliases map[string]Value, group []jrow
 		if err != nil {
 			return nil, err
 		}
-		keys[i] = v
+		buf = append(buf, v)
 	}
-	return keys, nil
+	return buf, nil
+}
+
+// rowSorter is a concrete sort.Interface over sortable rows: ORDER BY runs
+// on every scanned row of a sorted scan, and sort.SliceStable's
+// reflection-based swapper was ~20% of a full experiment cell's CPU.
+type rowSorter struct {
+	rows  []sortableRow
+	order []OrderItem
+}
+
+func (s *rowSorter) Len() int      { return len(s.rows) }
+func (s *rowSorter) Swap(i, j int) { s.rows[i], s.rows[j] = s.rows[j], s.rows[i] }
+func (s *rowSorter) Less(i, j int) bool {
+	for k := range s.order {
+		c := Compare(s.rows[i].keys[k], s.rows[j].keys[k])
+		if c == 0 {
+			continue
+		}
+		if s.order[k].Desc {
+			return c > 0
+		}
+		return c < 0
+	}
+	return false
 }
 
 func sortRows(st *SelectStmt, rows []sortableRow) {
 	if len(st.OrderBy) == 0 {
 		return
 	}
-	sort.SliceStable(rows, func(i, j int) bool {
-		for k, item := range st.OrderBy {
-			c := Compare(rows[i].keys[k], rows[j].keys[k])
-			if c == 0 {
-				continue
-			}
-			if item.Desc {
-				return c > 0
-			}
-			return c < 0
-		}
-		return false
-	})
+	// Stable sort output is uniquely determined by the comparator and input
+	// order, so swapping implementations cannot perturb determinism.
+	sort.Stable(&rowSorter{rows: rows, order: st.OrderBy})
 }
 
 func distinctRows(rows [][]Value) [][]Value {

@@ -19,23 +19,46 @@ type scope struct {
 	eng    *Engine
 }
 
-// resolve finds the value for a column reference.
+// resolve finds the value for a column reference, memoizing the column
+// position on the ColRef node (see its cache fields). Ambiguity checking
+// across multi-table scopes stays on the uncached slow path.
 func (sc *scope) resolve(c *ColRef) (Value, error) {
 	if c.Table != "" {
-		want := strings.ToLower(c.Table)
-		for _, st := range sc.tables {
-			if st.name == want {
+		if c.lname == "" {
+			c.lname = strings.ToLower(c.Table)
+		}
+		for i := range sc.tables {
+			st := &sc.tables[i]
+			if st.name != c.lname {
+				continue
+			}
+			if st.tbl != c.ctbl {
 				pos, ok := st.tbl.ColPos(c.Name)
 				if !ok {
 					return Null, fmt.Errorf("sqlengine: unknown column %s.%s", c.Table, c.Name)
 				}
-				if st.vals == nil {
-					return Null, nil
-				}
-				return st.vals[pos], nil
+				c.ctbl, c.cpos = st.tbl, pos
 			}
+			if st.vals == nil {
+				return Null, nil
+			}
+			return st.vals[c.cpos], nil
 		}
 		return Null, fmt.Errorf("sqlengine: unknown table %s in expression", c.Table)
+	}
+	if len(sc.tables) == 1 {
+		st := &sc.tables[0]
+		if st.tbl != c.ctbl {
+			pos, ok := st.tbl.ColPos(c.Name)
+			if !ok {
+				return Null, fmt.Errorf("sqlengine: unknown column %s", c.Name)
+			}
+			c.ctbl, c.cpos = st.tbl, pos
+		}
+		if st.vals == nil {
+			return Null, nil
+		}
+		return st.vals[c.cpos], nil
 	}
 	found := -1
 	var out Value
@@ -458,14 +481,21 @@ func containsAggregate(e Expr) bool {
 // likeMatch implements SQL LIKE with % (any run) and _ (one byte),
 // case-insensitively like MySQL's default collation.
 func likeMatch(s, pattern string) bool {
-	s = strings.ToLower(s)
-	pattern = strings.ToLower(pattern)
+	// ASCII inputs fold per byte during the match; allocating two lowered
+	// copies here ran once per scanned row on LIKE scans. Non-ASCII falls
+	// back to whole-string lowering so multi-byte case mapping (which can
+	// change byte lengths) behaves exactly as before; the redundant ASCII
+	// fold after it is a no-op on already-lowered bytes.
+	if !isASCII(s) || !isASCII(pattern) {
+		s = strings.ToLower(s)
+		pattern = strings.ToLower(pattern)
+	}
 	// Greedy two-pointer wildcard match over bytes.
 	si, pi := 0, 0
 	star, match := -1, 0
 	for si < len(s) {
 		switch {
-		case pi < len(pattern) && (pattern[pi] == '_' || pattern[pi] == s[si]):
+		case pi < len(pattern) && (pattern[pi] == '_' || lowerASCII(pattern[pi]) == lowerASCII(s[si])):
 			si++
 			pi++
 		case pi < len(pattern) && pattern[pi] == '%':
@@ -484,4 +514,20 @@ func likeMatch(s, pattern string) bool {
 		pi++
 	}
 	return pi == len(pattern)
+}
+
+func isASCII(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] >= 0x80 {
+			return false
+		}
+	}
+	return true
+}
+
+func lowerASCII(c byte) byte {
+	if 'A' <= c && c <= 'Z' {
+		return c + 32
+	}
+	return c
 }

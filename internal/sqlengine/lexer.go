@@ -56,7 +56,9 @@ func (e *lexError) Error() string { return fmt.Sprintf("lex error at offset %d: 
 
 // lex tokenizes a SQL string.
 func lex(sql string) ([]token, error) {
-	var toks []token
+	// Sized so typical statements tokenize in one allocation — replication
+	// apply lexes every shipped write, so repeated slice growth adds up.
+	toks := make([]token, 0, len(sql)/5+4)
 	i := 0
 	n := len(sql)
 	for i < n {

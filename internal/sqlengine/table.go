@@ -265,16 +265,20 @@ func (t *Table) LookupPK(vals []Value) (*Row, bool) {
 // lookupEq returns rows matching col = v via the best available index, and
 // whether an index was usable.
 func (t *Table) lookupEq(col int, v Value) ([]*Row, bool) {
+	// Keys are built in a stack buffer: map lookups through string(bytes)
+	// compile to zero-allocation probes, and point lookups dominate the
+	// read workload.
+	var kb [32]byte
 	// Single-column primary key.
 	if len(t.pkCols) == 1 && t.pkCols[0] == col {
-		if r, ok := t.pk[v.key()]; ok {
+		if r, ok := t.pk[string(v.appendKey(kb[:0]))]; ok {
 			return []*Row{r}, true
 		}
 		return nil, true
 	}
 	for _, ix := range t.indexes {
 		if len(ix.Cols) == 1 && ix.Cols[0] == col {
-			return ix.buckets[v.key()], true
+			return ix.buckets[string(v.appendKey(kb[:0]))], true
 		}
 	}
 	return nil, false

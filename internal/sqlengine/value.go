@@ -227,12 +227,25 @@ func (v Value) key() string {
 		return "\x00"
 	case KindString:
 		return "s" + v.s
+	default:
+		return string(v.appendKey(nil))
+	}
+}
+
+// appendKey appends v's map key (same bytes as key) to b, for callers that
+// build composite keys row-by-row and must not allocate one string per value.
+func (v Value) appendKey(b []byte) []byte {
+	switch v.kind {
+	case KindNull:
+		return append(b, 0x00)
+	case KindString:
+		return append(append(b, 's'), v.s...)
 	case KindFloat:
 		if v.f == float64(int64(v.f)) {
-			return "n" + strconv.FormatInt(int64(v.f), 10)
+			return strconv.AppendInt(append(b, 'n'), int64(v.f), 10)
 		}
-		return "n" + strconv.FormatFloat(v.f, 'g', -1, 64)
+		return strconv.AppendFloat(append(b, 'n'), v.f, 'g', -1, 64)
 	default: // int, bool, time
-		return "n" + strconv.FormatInt(v.i, 10)
+		return strconv.AppendInt(append(b, 'n'), v.i, 10)
 	}
 }
