@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-smoke bench-kernel determinism-smoke trace-smoke fuzz-seed figures examples vet fmt fmt-check lint clean check
+.PHONY: all build test race bench bench-smoke bench-kernel shard-smoke determinism-smoke trace-smoke fuzz-seed figures examples vet fmt fmt-check lint clean check
 
 all: build vet lint test
 
@@ -11,6 +11,7 @@ check:
 	$(MAKE) lint
 	$(GO) test -race ./...
 	$(MAKE) trace-smoke
+	$(MAKE) shard-smoke
 	$(MAKE) bench-kernel
 
 # Determinism linters (simtime, simrand, rawgo, maporder, closecheck) plus
@@ -49,6 +50,14 @@ bench:
 bench-smoke:
 	$(GO) run ./cmd/cloudrepl-bench -ablation elastic -short -q -json results
 	$(GO) run ./cmd/cloudrepl-bench -ablation pipeline -short -q -json results
+
+# Sharding smoke: the online-split and chaos-kill-during-split paths at unit
+# scale (exactly-once row placement is asserted inside the tests), then the
+# small A-SHARD grid on the short protocol with BENCH_shard.json written
+# into results/.
+shard-smoke:
+	$(GO) test ./internal/shard -run 'TestSplitOnline|TestSplitChaosKillTarget' -count=1
+	$(GO) run ./cmd/cloudrepl-bench -ablation shard -short -q -json results
 
 # Kernel-speed smoke: measure the sim kernel (micro workload + one
 # experiment cell), write BENCH_kernel.json into results/, and fail if the
@@ -96,6 +105,7 @@ examples:
 	$(GO) run ./examples/chaos
 	$(GO) run ./examples/elasticity
 	$(GO) run ./examples/pipeline
+	$(GO) run ./examples/sharding
 
 clean:
 	rm -rf results test_output.txt bench_output.txt

@@ -7,6 +7,7 @@
 //	cloudrepl-bench -rtt              # half-RTT table (T-RTT)
 //	cloudrepl-bench -ablation sync,lb,var
 //	cloudrepl-bench -ablation elastic    # SLO-driven autoscaling (A-ELASTIC)
+//	cloudrepl-bench -ablation shard      # cell-sharded scale-out (A-SHARD)
 //	cloudrepl-bench -ablation pipeline   # replication data path (A-PIPELINE)
 //	cloudrepl-bench -trace out.json      # fully-traced pipeline run (cloudrepl-trace summarizes)
 //	cloudrepl-bench -all -csv out/       # everything, with CSVs for plotting
@@ -33,7 +34,7 @@ import (
 func main() {
 	figs := flag.String("fig", "", "comma-separated figures to regenerate (2,3,4,5,6)")
 	rtt := flag.Bool("rtt", false, "measure the half-RTT table (T-RTT)")
-	ablations := flag.String("ablation", "", "comma-separated ablations (sync,lb,var,prio,arch,chaos,elastic,pipeline)")
+	ablations := flag.String("ablation", "", "comma-separated ablations (sync,lb,var,prio,arch,chaos,elastic,pipeline,shard)")
 	determinism := flag.Bool("determinism", false, "run the A-PIPELINE determinism sanitizer: the same seed twice, failing on any byte difference in the result JSON (with -short: corner grid + quick protocol)")
 	determinismInject := flag.Bool("determinism-inject", false, "deliberately salt the determinism check with global math/rand entropy; the check must then fail (self-test of the sanitizer)")
 	all := flag.Bool("all", false, "regenerate every figure, table and ablation")
@@ -68,7 +69,7 @@ func main() {
 		want["rtt"] = true
 	}
 	if *all {
-		for _, k := range []string{"fig2", "fig3", "fig4", "fig5", "fig6", "rtt", "ab-sync", "ab-lb", "ab-var", "ab-prio", "ab-arch", "ab-chaos", "ab-elastic", "ab-pipeline", "kernel"} {
+		for _, k := range []string{"fig2", "fig3", "fig4", "fig5", "fig6", "rtt", "ab-sync", "ab-lb", "ab-var", "ab-prio", "ab-arch", "ab-chaos", "ab-elastic", "ab-pipeline", "ab-shard", "kernel"} {
 			want[k] = true
 		}
 	}
@@ -92,6 +93,10 @@ func main() {
 		}
 		banner("determinism sanitizer: sharded runner serial vs parallel, byte-compared merged JSON")
 		if err := experiment.KernelDeterminism(opts); err != nil {
+			fatal(err)
+		}
+		banner("determinism sanitizer: sharded tier with a live split twice with one seed, byte-compared JSON")
+		if err := experiment.ShardDeterminism(opts); err != nil {
 			fatal(err)
 		}
 		fmt.Println("determinism check passed: both runs produced byte-identical JSON")
@@ -251,6 +256,16 @@ func main() {
 		}
 		fmt.Println(experiment.RenderPipeline(r))
 		writeJSON("pipeline", experiment.PipelineJSON(r))
+	}
+
+	if want["ab-shard"] {
+		banner("ablation: cell-sharded scale-out (A-SHARD)")
+		r, err := experiment.AblationSharding(opts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(experiment.RenderSharding(r))
+		writeJSON("shard", experiment.ShardingJSON(r))
 	}
 
 	if want["ab-elastic"] {

@@ -3,6 +3,7 @@ package cloudstone
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 	"time"
 
 	"cloudrepl/internal/core"
@@ -36,6 +37,13 @@ type Config struct {
 	// ramp — the shape elasticity experiments need, where the interesting
 	// behaviour is the response to load change, not one steady plateau.
 	Stages []Stage
+	// CrossShard adds a friend-feed page to the read mix (25% of reads):
+	// look up the user's friend list, then fetch those friends' newest
+	// events in one IN-list query. Under sharding the second statement
+	// scatter-gathers across cells, because the preloaded friend graph
+	// deliberately spans the user id space. Off by default so unsharded
+	// runs keep their published figures.
+	CrossShard bool
 }
 
 // Stage is one step of a load ramp.
@@ -275,11 +283,13 @@ func (d *Driver) Result() Result {
 
 // op is one user operation: a single SQL statement, as in the paper's
 // customized Cloudstone where business logic executes directly on the
-// database tier.
+// database tier. The friend-feed page is the one exception — it is a
+// two-statement sequence and supplies multi instead of sql.
 type op struct {
-	name string
-	sql  string
-	args []sqlengine.Value
+	name  string
+	sql   string
+	args  []sqlengine.Value
+	multi func(p *sim.Proc) error
 }
 
 func (d *Driver) oneOperation(p *sim.Proc) {
@@ -292,7 +302,12 @@ func (d *Driver) oneOperation(p *sim.Proc) {
 		o = d.writeOp(rng)
 	}
 	t0 := p.Now()
-	_, err := d.DB.Exec(p, o.sql, o.args...)
+	var err error
+	if o.multi != nil {
+		err = o.multi(p)
+	} else {
+		_, err = d.DB.Exec(p, o.sql, o.args...)
+	}
 	inSteady := p.Now() >= d.steadyFrom && p.Now() < d.steadyTo
 	if err != nil {
 		d.allErrs++
@@ -315,35 +330,66 @@ func (d *Driver) oneOperation(p *sim.Proc) {
 	}
 }
 
+// friendFeed renders the friend-feed page: the friend list is a single-key
+// read served by the user's own cell, then the friends' newest events are
+// fetched in one IN-list query. Under sharding that second statement
+// scatter-gathers — the friends' events live on other cells — and its
+// ORDER BY column is unprojected, exercising the merger's helper-column
+// path. An empty friend list (live-registered user) renders an empty feed.
+func (d *Driver) friendFeed(p *sim.Proc, uid int64) error {
+	res, err := d.DB.Exec(p, "SELECT friend_id FROM friends WHERE user_id = ?", sqlengine.NewInt(uid))
+	if err != nil {
+		return err
+	}
+	rows := res.Result.Set.Rows
+	if len(rows) == 0 {
+		return nil
+	}
+	ph := make([]string, len(rows))
+	args := make([]sqlengine.Value, len(rows))
+	for i, r := range rows {
+		ph[i] = "?"
+		args[i] = r[0]
+	}
+	feed := "SELECT id, title FROM events WHERE creator_id IN (" + strings.Join(ph, ", ") +
+		") ORDER BY created DESC LIMIT 10"
+	_, err = d.DB.Exec(p, feed, args...)
+	return err
+}
+
 // seedID picks a random id from the preloaded range.
 func (d *Driver) seedID(rng *rand.Rand) int64 { return int64(rng.Intn(d.Cfg.Scale)) + 1 }
 
 func (d *Driver) readOp(rng *rand.Rand) op {
+	if d.Cfg.CrossShard && rng.Float64() < 0.25 {
+		uid := d.seedID(rng)
+		return op{name: "friend-feed", multi: func(p *sim.Proc) error { return d.friendFeed(p, uid) }}
+	}
 	switch w := rng.Float64(); {
 	case w < 0.20: // home page: newest events
-		return op{"home", "SELECT id, title, event_date FROM events ORDER BY created DESC LIMIT 10", nil}
+		return op{"home", "SELECT id, title, event_date FROM events ORDER BY created DESC LIMIT 10", nil, nil}
 	case w < 0.40: // event detail
 		return op{"event-detail", "SELECT * FROM events WHERE id = ?",
-			[]sqlengine.Value{sqlengine.NewInt(d.seedID(rng))}}
+			[]sqlengine.Value{sqlengine.NewInt(d.seedID(rng))}, nil}
 	case w < 0.50: // attendee list
 		return op{"attendees", "SELECT user_id FROM attendance WHERE event_id = ?",
-			[]sqlengine.Value{sqlengine.NewInt(d.seedID(rng))}}
+			[]sqlengine.Value{sqlengine.NewInt(d.seedID(rng))}, nil}
 	case w < 0.60: // text search (full scan, data-size dependent)
 		return op{"search-text", "SELECT id, title FROM events WHERE title LIKE ? LIMIT 10",
-			[]sqlengine.Value{sqlengine.NewString(fmt.Sprintf("%%%d m%%", rng.Intn(d.Cfg.Scale)))}}
+			[]sqlengine.Value{sqlengine.NewString(fmt.Sprintf("%%%d m%%", rng.Intn(d.Cfg.Scale)))}, nil}
 	case w < 0.75: // tag search (indexed + join)
 		return op{"search-tag",
 			"SELECT e.id, e.title FROM event_tags et JOIN events e ON e.id = et.event_id WHERE et.tag_id = ? LIMIT 20",
-			[]sqlengine.Value{sqlengine.NewInt(int64(rng.Intn(NumTags)) + 1)}}
+			[]sqlengine.Value{sqlengine.NewInt(int64(rng.Intn(NumTags)) + 1)}, nil}
 	case w < 0.85: // user profile
 		return op{"profile", "SELECT * FROM users WHERE id = ?",
-			[]sqlengine.Value{sqlengine.NewInt(d.seedID(rng))}}
+			[]sqlengine.Value{sqlengine.NewInt(d.seedID(rng))}, nil}
 	case w < 0.95: // a user's events (indexed)
 		return op{"user-events", "SELECT id, title FROM events WHERE creator_id = ?",
-			[]sqlengine.Value{sqlengine.NewInt(d.seedID(rng))}}
+			[]sqlengine.Value{sqlengine.NewInt(d.seedID(rng))}, nil}
 	default: // tag cloud (aggregate scan)
 		return op{"tag-cloud",
-			"SELECT tag_id, COUNT(*) AS cnt FROM event_tags GROUP BY tag_id ORDER BY cnt DESC LIMIT 10", nil}
+			"SELECT tag_id, COUNT(*) AS cnt FROM event_tags GROUP BY tag_id ORDER BY cnt DESC LIMIT 10", nil, nil}
 	}
 }
 
@@ -359,7 +405,7 @@ func (d *Driver) writeOp(rng *rand.Rand) op {
 				sqlengine.NewInt(d.seedID(rng)),
 				sqlengine.NewString(fmt.Sprintf("Event %d meetup", id)),
 				sqlengine.NewString("created during the benchmark run"),
-			}}
+			}, nil}
 	case w < 0.55: // join (attend) an event
 		d.nextAttID++
 		return op{"join-event",
@@ -368,7 +414,7 @@ func (d *Driver) writeOp(rng *rand.Rand) op {
 				sqlengine.NewInt(d.nextAttID),
 				sqlengine.NewInt(d.seedID(rng)),
 				sqlengine.NewInt(d.seedID(rng)),
-			}}
+			}, nil}
 	case w < 0.75: // tag an event
 		d.nextTagRefID++
 		return op{"tag-event",
@@ -377,7 +423,7 @@ func (d *Driver) writeOp(rng *rand.Rand) op {
 				sqlengine.NewInt(d.nextTagRefID),
 				sqlengine.NewInt(d.seedID(rng)),
 				sqlengine.NewInt(int64(rng.Intn(NumTags)) + 1),
-			}}
+			}, nil}
 	case w < 0.95: // comment on an event
 		d.nextCommentID++
 		return op{"add-comment",
@@ -387,13 +433,13 @@ func (d *Driver) writeOp(rng *rand.Rand) op {
 				sqlengine.NewInt(d.seedID(rng)),
 				sqlengine.NewInt(d.seedID(rng)),
 				sqlengine.NewString("sounds great, count me in"),
-			}}
+			}, nil}
 	default: // edit event description
 		return op{"update-event",
 			"UPDATE events SET description = ? WHERE id = ?",
 			[]sqlengine.Value{
 				sqlengine.NewString("updated during the benchmark run"),
 				sqlengine.NewInt(d.seedID(rng)),
-			}}
+			}, nil}
 	}
 }

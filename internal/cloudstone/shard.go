@@ -1,0 +1,25 @@
+package cloudstone
+
+import "cloudrepl/internal/shard"
+
+// ShardKeyspace maps the Cloudstone schema onto the shard key space.
+// Events anchor the partitioning: attendance, tags-on-events and comments
+// shard on event_id, so an event and all of its children live in one cell
+// and every event-detail join is cell-local. Users and their friend edges
+// shard on the user id. The tag vocabulary is a 20-row lookup table —
+// global, replicated into every cell.
+func ShardKeyspace() shard.Keyspace {
+	return shard.Keyspace{
+		Key: map[string]string{
+			"users":      "id",
+			"events":     "id",
+			"attendance": "event_id",
+			"event_tags": "event_id",
+			"comments":   "event_id",
+			"friends":    "user_id",
+		},
+		Global: map[string]bool{
+			"tags": true,
+		},
+	}
+}

@@ -52,6 +52,13 @@ type Config struct {
 	// batched binlog shipping, and parallel slave apply. The zero value is
 	// the classic one-statement-at-a-time path.
 	Pipeline repl.PipelineConfig
+	// NamePrefix prepends every instance name this cluster creates
+	// ("master", "slave1", ...). A sharded deployment runs one Cluster per
+	// cell and sets a per-cell prefix ("cell0/", "cell1/", ...) so instance
+	// names — and everything keyed by them: chaos targets, trace spans,
+	// vclock daemons, metric labels — stay unique across cells. Empty keeps
+	// the classic single-cluster names.
+	NamePrefix string
 }
 
 // Cluster is the running database tier.
@@ -75,8 +82,9 @@ func New(env *sim.Env, cl *cloud.Cloud, cfg Config) (*Cluster, error) {
 		cfg.Master.Type = cloud.Small
 	}
 	c := &Cluster{env: env, cloud: cl, cfg: cfg}
-	mInst := cl.Launch("master", cfg.Master.Type, cfg.Master.Place)
-	mSrv := server.New(env, "master", mInst, cfg.Cost)
+	mName := cfg.NamePrefix + "master"
+	mInst := cl.Launch(mName, cfg.Master.Type, cfg.Master.Place)
+	mSrv := server.New(env, mName, mInst, cfg.Cost)
 	if cfg.Preload != nil {
 		if err := cfg.Preload(mSrv); err != nil {
 			return nil, fmt.Errorf("cluster: preload master: %w", err)
@@ -122,7 +130,7 @@ func (c *Cluster) AddSlave(spec NodeSpec) (*repl.Slave, error) {
 		spec.Type = cloud.Small
 	}
 	c.nextID++
-	name := fmt.Sprintf("slave%d", c.nextID)
+	name := fmt.Sprintf("%sslave%d", c.cfg.NamePrefix, c.nextID)
 	inst := c.cloud.Launch(name, spec.Type, spec.Place)
 	srv := server.New(c.env, name, inst, c.cfg.Cost)
 	srv.PriorityApply = c.cfg.PriorityApply
@@ -240,7 +248,7 @@ func (c *Cluster) snapshotProvision(spec NodeSpec) (*server.DBServer, uint64, er
 		spec.Type = cloud.Small
 	}
 	c.nextID++
-	name := fmt.Sprintf("slave%d", c.nextID)
+	name := fmt.Sprintf("%sslave%d", c.cfg.NamePrefix, c.nextID)
 	inst := c.cloud.Launch(name, spec.Type, spec.Place)
 	srv := server.New(c.env, name, inst, c.cfg.Cost)
 	srv.PriorityApply = c.cfg.PriorityApply

@@ -27,15 +27,27 @@ import (
 	"cloudrepl/internal/pool"
 	"cloudrepl/internal/proxy"
 	"cloudrepl/internal/repl"
+	"cloudrepl/internal/shard"
 	"cloudrepl/internal/sim"
 	"cloudrepl/internal/sqlengine"
 )
 
-// DB is a replicated database handle.
+// Conn is what the handle's pool lends out per statement: a single-cluster
+// proxy connection or a sharded routed connection — the application never
+// sees the difference.
+type Conn interface {
+	Exec(p *sim.Proc, sql string, args ...sqlengine.Value) (*proxy.ExecResult, error)
+}
+
+// DB is a replicated database handle. In single-cluster mode (Open) it
+// fronts one cluster behind one proxy; in sharded mode (OpenSharded) it
+// fronts N cells behind the shard router, through the same Exec/Query/
+// Scale surface.
 type DB struct {
-	clu    *cluster.Cluster
-	px     *proxy.Proxy
-	pool   *pool.Pool[*proxy.Conn]
+	clu    *cluster.Cluster // nil in sharded mode
+	px     *proxy.Proxy     // nil in sharded mode
+	sc     *shard.Cluster   // nil in single-cluster mode
+	pool   *pool.Pool[Conn]
 	cfg    config
 	tracer *obs.Tracer
 	reg    *obs.Registry
@@ -103,20 +115,74 @@ func openConfig(clu *cluster.Cluster, cfg config) *DB {
 		clu.SetTracer(cfg.tracer)
 	}
 	db.pool = pool.New(clu.Env(), cfg.pool,
-		func() *proxy.Conn { return px.Connect(cfg.database) },
+		func() Conn { return px.Connect(cfg.database) },
 		nil)
 	db.pool.Tracer = cfg.tracer
 	return db
 }
 
-// Cluster returns the underlying cluster.
+// OpenSharded builds a cell-sharded deployment and wires a handle onto it:
+// WithShards(n) cells, each a full cluster from the cellCfg template
+// (instances named "cell<i>/..."), fronted by the shard router. The
+// application surface is unchanged — Exec routes single-key statements to
+// the owning cell and scatters multi-key reads; Scale spreads replica
+// deltas across cells; SplitShard grows the tier by a cell online.
+func OpenSharded(env *sim.Env, cl *cloud.Cloud, cellCfg cluster.Config, opts ...Option) (*DB, error) {
+	var cfg config
+	for _, o := range opts {
+		if o != nil {
+			o(&cfg)
+		}
+	}
+	if cfg.shards < 1 {
+		cfg.shards = 1
+	}
+	if cfg.pool.MaxActive == 0 {
+		cfg.pool = pool.Config{MaxActive: 64, MaxIdle: 64}
+	}
+	sc, err := shard.New(env, cl, shard.Config{
+		Cells:              cfg.shards,
+		Slots:              cfg.shardSlots,
+		Keyspace:           cfg.keyspace,
+		Database:           cfg.database,
+		Cell:               cellCfg,
+		PartitionedPreload: cfg.partitionedPreload,
+		ClientPlace:        cfg.clientPlace,
+		Balancer:           cfg.balancerFactory,
+		ReadYourWrites:     cfg.readYourWrites,
+		Retry:              cfg.retry,
+	})
+	if err != nil {
+		return nil, err
+	}
+	db := &DB{sc: sc, cfg: cfg, tracer: cfg.tracer, reg: cfg.registry}
+	if db.reg == nil && !cfg.noMetrics {
+		db.reg = obs.NewRegistry()
+	}
+	db.reg.SetRand(env.Rand())
+	if cfg.tracer != nil {
+		sc.SetTracer(cfg.tracer)
+	}
+	db.pool = pool.New(env, cfg.pool,
+		func() Conn { return sc.Connect(cfg.database) },
+		nil)
+	db.pool.Tracer = cfg.tracer
+	return db, nil
+}
+
+// Cluster returns the underlying cluster (nil in sharded mode — use
+// Shards().Cells() for the per-cell clusters).
 func (db *DB) Cluster() *cluster.Cluster { return db.clu }
 
-// Proxy returns the routing proxy.
+// Proxy returns the routing proxy (nil in sharded mode — each cell has its
+// own, at Shards().Cell(i).Px).
 func (db *DB) Proxy() *proxy.Proxy { return db.px }
 
+// Shards returns the sharded cluster (nil in single-cluster mode).
+func (db *DB) Shards() *shard.Cluster { return db.sc }
+
 // Pool returns the connection pool.
-func (db *DB) Pool() *pool.Pool[*proxy.Conn] { return db.pool }
+func (db *DB) Pool() *pool.Pool[Conn] { return db.pool }
 
 // Registry returns the handle's metrics registry: the one passed via
 // WithMetrics, or the handle's own — nil only under WithoutMetrics, and a
@@ -173,10 +239,11 @@ type SlaveLag struct {
 	RelayBacklog int
 }
 
-// Staleness samples the replication lag of every attached slave.
+// Staleness samples the replication lag of every attached slave — across
+// every cell in sharded mode (slave names carry their cell prefix).
 func (db *DB) Staleness() Staleness {
 	var st Staleness
-	for _, sl := range db.clu.Master().Slaves() {
+	for _, sl := range db.allSlaves() {
 		lag := sl.EventsBehindMaster()
 		st.Slaves = append(st.Slaves, SlaveLag{
 			Name:         sl.Srv.Name,
@@ -190,9 +257,26 @@ func (db *DB) Staleness() Staleness {
 	return st
 }
 
+// allSlaves enumerates every attached replica: the cluster's in
+// single-cluster mode, every cell's (in cell order) in sharded mode.
+func (db *DB) allSlaves() []*repl.Slave {
+	if db.sc == nil {
+		return db.clu.Master().Slaves()
+	}
+	var out []*repl.Slave
+	for _, cell := range db.sc.Cells() {
+		out = append(out, cell.Clu.Master().Slaves()...)
+	}
+	return out
+}
+
 // ErrNoSlaves is returned by scale-in when the cluster has no replica to
 // remove.
 var ErrNoSlaves = errors.New("core: no slave to remove")
+
+// ErrSharded is returned by single-cluster-only operations on a sharded
+// handle.
+var ErrSharded = errors.New("core: operation requires single-cluster mode")
 
 // ScaleOpts tunes DB.Scale.
 type ScaleOpts struct {
@@ -215,6 +299,9 @@ type ScaleOpts struct {
 // immediate: no new read is routed to the victim, but reads already in
 // flight will fail against the dead instance and take the retry path.
 func (db *DB) Scale(p *sim.Proc, delta int, opts ScaleOpts) error {
+	if db.sc != nil {
+		return db.scaleSharded(p, delta, opts)
+	}
 	for ; delta > 0; delta-- {
 		if _, err := db.clu.AddSlave(opts.Spec); err != nil {
 			return err
@@ -241,6 +328,61 @@ func (db *DB) Scale(p *sim.Proc, delta int, opts ScaleOpts) error {
 		}
 	}
 	return firstErr
+}
+
+// scaleSharded spreads replica deltas across cells: scale-out lands each
+// new replica on the cell with the fewest slaves (ties to the lowest id),
+// scale-in removes the most-lagged replica from the cell with the most.
+// The Victim pin is single-cluster only and ignored here.
+func (db *DB) scaleSharded(p *sim.Proc, delta int, opts ScaleOpts) error {
+	cells := db.sc.Cells()
+	for ; delta > 0; delta-- {
+		target := cells[0]
+		for _, c := range cells[1:] {
+			if len(c.Clu.Master().Slaves()) < len(target.Clu.Master().Slaves()) {
+				target = c
+			}
+		}
+		if _, err := target.Clu.AddSlave(opts.Spec); err != nil {
+			return err
+		}
+	}
+	var firstErr error
+	for ; delta < 0; delta++ {
+		var target *shard.Cell
+		for _, c := range cells {
+			if len(c.Clu.Master().Slaves()) == 0 {
+				continue
+			}
+			if target == nil || len(c.Clu.Master().Slaves()) > len(target.Clu.Master().Slaves()) {
+				target = c
+			}
+		}
+		if target == nil {
+			return ErrNoSlaves
+		}
+		victim := mostLaggedOf(target.Clu.Master().Slaves())
+		if p == nil {
+			target.Px.Quarantine(victim)
+			target.Clu.RemoveSlave(victim)
+			target.Px.Forget(victim)
+			continue
+		}
+		if err := removeGracefulFrom(p, target.Px, target.Clu, victim, opts.Drain); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// SplitShard grows a sharded deployment by one cell online (copy, dual
+// write, cutover); see shard.Cluster.Split. It fails on a single-cluster
+// handle.
+func (db *DB) SplitShard(p *sim.Proc) (*shard.SplitReport, error) {
+	if db.sc == nil {
+		return nil, errors.New("core: SplitShard requires a sharded handle (OpenSharded)")
+	}
+	return db.sc.Split(p)
 }
 
 // ScaleOut adds a replica at the given placement.
@@ -277,17 +419,23 @@ func (db *DB) RemoveSlaveGraceful(p *sim.Proc, sl *repl.Slave, drainTimeout time
 // the node is terminated anyway (in-flight reads on it will error and take
 // the retry path) and an error reports the abandonment.
 func (db *DB) removeGraceful(p *sim.Proc, sl *repl.Slave, drainTimeout time.Duration) error {
+	return removeGracefulFrom(p, db.px, db.clu, sl, drainTimeout)
+}
+
+// removeGracefulFrom is removeGraceful against an explicit proxy/cluster
+// pair, shared by the single-cluster and per-cell scale-in paths.
+func removeGracefulFrom(p *sim.Proc, px *proxy.Proxy, clu *cluster.Cluster, sl *repl.Slave, drainTimeout time.Duration) error {
 	if drainTimeout <= 0 {
 		drainTimeout = 30 * time.Second
 	}
-	db.px.Quarantine(sl)
+	px.Quarantine(sl)
 	deadline := p.Now() + drainTimeout
-	for db.px.InflightReads(sl) > 0 && p.Now() < deadline {
+	for px.InflightReads(sl) > 0 && p.Now() < deadline {
 		p.Sleep(10 * time.Millisecond)
 	}
-	abandoned := db.px.InflightReads(sl)
-	db.clu.RemoveSlave(sl)
-	db.px.Forget(sl)
+	abandoned := px.InflightReads(sl)
+	clu.RemoveSlave(sl)
+	px.Forget(sl)
 	if abandoned > 0 {
 		return fmt.Errorf("core: scale-in of %s abandoned %d in-flight read(s) after %v",
 			sl.Srv.Name, abandoned, drainTimeout)
@@ -298,7 +446,10 @@ func (db *DB) removeGraceful(p *sim.Proc, sl *repl.Slave, drainTimeout time.Dura
 // mostLagged returns the attached replica furthest behind the master (nil
 // when none is attached).
 func (db *DB) mostLagged() *repl.Slave {
-	slaves := db.clu.Master().Slaves()
+	return mostLaggedOf(db.clu.Master().Slaves())
+}
+
+func mostLaggedOf(slaves []*repl.Slave) *repl.Slave {
 	if len(slaves) == 0 {
 		return nil
 	}
@@ -312,7 +463,12 @@ func (db *DB) mostLagged() *repl.Slave {
 }
 
 // Failover promotes a slave after a master failure and re-points the proxy.
+// On a sharded handle it returns ErrSharded: each cell fails over on its
+// own through the per-cell retry policy (Retry.FailoverOnMasterDown).
 func (db *DB) Failover() error {
+	if db.sc != nil {
+		return fmt.Errorf("%w: per-cell failover is driven by the retry policy", ErrSharded)
+	}
 	m, err := db.clu.Failover()
 	if err != nil {
 		return err
@@ -321,17 +477,31 @@ func (db *DB) Failover() error {
 	return nil
 }
 
-// WaitCaughtUp blocks until every slave has applied the master's current
-// binlog position or the timeout elapses; it reports success.
+// WaitCaughtUp blocks until every slave (of every cell, in sharded mode)
+// has applied its master's current binlog position or the timeout elapses;
+// it reports success.
 func (db *DB) WaitCaughtUp(p *sim.Proc, timeout time.Duration) bool {
 	deadline := p.Now() + timeout
-	target := db.clu.Master().Srv.Log.LastSeq()
+	var masters []*repl.Master
+	if db.sc == nil {
+		masters = []*repl.Master{db.clu.Master()}
+	} else {
+		for _, cell := range db.sc.Cells() {
+			masters = append(masters, cell.Clu.Master())
+		}
+	}
+	targets := make([]uint64, len(masters))
+	for i, m := range masters {
+		targets[i] = m.Srv.Log.LastSeq()
+	}
 	for {
 		ok := true
-		for _, sl := range db.clu.Master().Slaves() {
-			if sl.AppliedSeq() < target {
-				ok = false
-				break
+		for i, m := range masters {
+			for _, sl := range m.Slaves() {
+				if sl.AppliedSeq() < targets[i] {
+					ok = false
+					break
+				}
 			}
 		}
 		if ok {
@@ -367,32 +537,71 @@ func (db *DB) ValidateInstances(p *sim.Proc, probes int) []InstanceReport {
 			Speed:    cloud.MeasureSpeed(p, inst, probes),
 		})
 	}
-	report(db.clu.Master().Srv.Name, db.clu.Master().Srv.Inst)
-	for _, sl := range db.clu.Master().Slaves() {
+	if db.sc == nil {
+		report(db.clu.Master().Srv.Name, db.clu.Master().Srv.Inst)
+	} else {
+		for _, cell := range db.sc.Cells() {
+			report(cell.Clu.Master().Srv.Name, cell.Clu.Master().Srv.Inst)
+		}
+	}
+	for _, sl := range db.allSlaves() {
 		report(sl.Srv.Name, sl.Srv.Inst)
 	}
 	return out
 }
 
-// Stats aggregates the handle's middleware counters.
+// Stats aggregates the handle's middleware counters. In sharded mode Proxy
+// sums every cell's proxy, Repl stays zero (per-cell replication counters
+// live in the metrics registry under "shard.cell<i>.repl.*") and Shard
+// carries the router counters.
 type Stats struct {
 	Proxy proxy.Stats
 	Pool  pool.Stats
 	Repl  repl.Stats
+	Shard shard.Stats
 }
 
 // Stats returns a snapshot of proxy routing, pool activity and replication
 // pipeline counters.
 func (db *DB) Stats() Stats {
+	if db.sc != nil {
+		var px proxy.Stats
+		for _, cell := range db.sc.Cells() {
+			px = sumProxyStats(px, cell.Px.Stats())
+		}
+		return Stats{Proxy: px, Pool: db.pool.Stats(), Shard: db.sc.Stats()}
+	}
 	return Stats{Proxy: db.px.Stats(), Pool: db.pool.Stats(), Repl: db.clu.Master().Stats()}
+}
+
+// sumProxyStats adds two proxy counter snapshots field by field.
+func sumProxyStats(a, b proxy.Stats) proxy.Stats {
+	a.Reads += b.Reads
+	a.Writes += b.Writes
+	a.MasterFallbacks += b.MasterFallbacks
+	a.Errors += b.Errors
+	a.Retries += b.Retries
+	a.Timeouts += b.Timeouts
+	a.SlaveEvictions += b.SlaveEvictions
+	a.SlaveReadmissions += b.SlaveReadmissions
+	a.Failovers += b.Failovers
+	a.DegradedCommits += b.DegradedCommits
+	a.WrongShard += b.WrongShard
+	return a
 }
 
 // Metrics publishes every attached component's counters into the registry
 // and returns the flattened snapshot (name → value) that the bench JSON
-// output embeds. Proxy, pool and replication metrics are published here;
-// external publishers (chaos, elastic) share the same registry via
-// Registry().
+// output embeds. Proxy, pool and replication metrics are published here
+// (per cell, namespaced "shard.cell<i>.", in sharded mode); external
+// publishers (chaos, elastic) share the same registry via Registry().
 func (db *DB) Metrics() map[string]float64 {
+	if db.sc != nil {
+		db.sc.PublishMetrics(db.reg)
+		db.pool.PublishMetrics(db.reg)
+		db.reg.Gauge("repl.max_events_behind").Set(float64(db.Staleness().MaxEvents))
+		return db.reg.Snapshot()
+	}
 	db.px.PublishMetrics(db.reg)
 	db.pool.PublishMetrics(db.reg)
 	db.clu.Master().PublishMetrics(db.reg)

@@ -5,6 +5,8 @@ import (
 	"cloudrepl/internal/obs"
 	"cloudrepl/internal/pool"
 	"cloudrepl/internal/proxy"
+	"cloudrepl/internal/server"
+	"cloudrepl/internal/shard"
 )
 
 // Option configures a replicated database handle at Open. Options compose
@@ -23,6 +25,13 @@ type config struct {
 	tracer         *obs.Tracer
 	registry       *obs.Registry
 	noMetrics      bool
+
+	// Sharded-mode knobs, consumed only by OpenSharded.
+	shards             int
+	shardSlots         int
+	keyspace           shard.Keyspace
+	partitionedPreload func(owns func(table string, key int64) bool) func(srv *server.DBServer) error
+	balancerFactory    func() proxy.Balancer
 }
 
 // WithDatabase sets the default database for every connection.
@@ -92,4 +101,35 @@ func WithMetrics(reg *obs.Registry) Option {
 // For benchmarking the kernel itself, or fleets of throwaway envs.
 func WithoutMetrics() Option {
 	return func(c *config) { c.noMetrics = true }
+}
+
+// WithShards sets the initial cell count for OpenSharded. Ignored by Open.
+func WithShards(n int) Option {
+	return func(c *config) { c.shards = n }
+}
+
+// WithShardSlots sets the hash-slot count of the shard map (default 64);
+// it bounds how many cells the deployment can grow to.
+func WithShardSlots(n int) Option {
+	return func(c *config) { c.shardSlots = n }
+}
+
+// WithKeyspace declares which tables are sharded on which integer key
+// column (and which are replicated globally); see shard.Keyspace.
+func WithKeyspace(ks shard.Keyspace) Option {
+	return func(c *config) { c.keyspace = ks }
+}
+
+// WithPartitionedPreload installs a preload builder for sharded cells:
+// each cell preloads exactly the rows the ownership predicate grants it.
+// cloudstone.PreloadOwned composes directly with this.
+func WithPartitionedPreload(f func(owns func(table string, key int64) bool) func(srv *server.DBServer) error) Option {
+	return func(c *config) { c.partitionedPreload = f }
+}
+
+// WithBalancerFactory sets the per-cell read balancer constructor for
+// OpenSharded (balancers keep per-slave state, so cells cannot share one
+// instance). Default: a round-robin per cell.
+func WithBalancerFactory(f func() proxy.Balancer) Option {
+	return func(c *config) { c.balancerFactory = f }
 }

@@ -51,6 +51,14 @@ type Config struct {
 	// mode: it monitors, traces and accounts, but never scales — how the
 	// fixed-fleet baselines are measured with identical instrumentation.
 	Policy Policy
+	// ScaleCell, when set, is the escape hatch past the master ceiling:
+	// the controller invokes it (in its own process) each time it declares
+	// the tier master-bound. Read replicas cannot relieve a saturated
+	// write master, but splitting the tier into another shard cell can —
+	// wire this to core.DB.SplitShard. On success the master-bound verdict
+	// is cleared so replica scaling resumes in the new, smaller cell; on
+	// failure the verdict stands.
+	ScaleCell func(p *sim.Proc) error
 	// SLOTargetMs is the staleness objective used for violation accounting
 	// in the trace (default 500 ms). It is an accounting knob, independent
 	// of whichever policy is steering.
@@ -97,7 +105,8 @@ func (c *Config) defaults() {
 type Decision struct {
 	T sim.Time
 	// Action is one of "scale-out", "admit", "scale-in", "drained",
-	// "master-bound", "rollback", "provision-failed".
+	// "master-bound", "rollback", "provision-failed", "cell-added",
+	// "cell-scale-failed".
 	Action string
 	// Slave names the replica involved, when one is.
 	Slave string
@@ -140,6 +149,7 @@ type Controller struct {
 	masterBound       bool
 	masterBoundAt     sim.Time
 	masterBoundSlaves int
+	cellScaling       bool // a ScaleCell (shard split) is in flight
 
 	judge *judgeState
 }
@@ -192,7 +202,8 @@ func (c *Controller) PublishMetrics(reg *obs.Registry) {
 	// Fixed action vocabulary (see Decision.Action) so the published set
 	// of names does not depend on which decisions happened to fire.
 	for _, action := range []string{"scale-out", "admit", "scale-in",
-		"drained", "master-bound", "rollback", "provision-failed"} {
+		"drained", "master-bound", "rollback", "provision-failed",
+		"cell-added", "cell-scale-failed"} {
 		name := "elastic." + strings.ReplaceAll(action, "-", "_")
 		reg.Counter(name).Set(float64(counts[action]))
 	}
@@ -326,6 +337,30 @@ func (c *Controller) declareMasterBound(p *sim.Proc, slaves int, reason string) 
 	c.masterBoundAt = p.Now()
 	c.masterBoundSlaves = slaves
 	c.record(p, "master-bound", "", reason, slaves)
+	c.scaleCell(slaves)
+}
+
+// scaleCell launches the configured past-the-master escape hatch (a shard
+// split) once per master-bound declaration. Success clears the verdict —
+// the cell the controller steers now owns half its former keyspace, so the
+// master has headroom again and replica scaling resumes; failure leaves
+// the verdict standing so the run's conclusion stays honest.
+func (c *Controller) scaleCell(slaves int) {
+	if c.cfg.ScaleCell == nil || c.cellScaling {
+		return
+	}
+	c.cellScaling = true
+	c.env.Go("elastic/scale-cell", func(pp *sim.Proc) {
+		err := c.cfg.ScaleCell(pp)
+		c.cellScaling = false
+		if err != nil {
+			c.record(pp, "cell-scale-failed", "", err.Error(), slaves)
+			return
+		}
+		c.masterBound = false
+		c.lastScale = pp.Now()
+		c.record(pp, "cell-added", "", "tier split into a new shard cell; master ceiling lifted", slaves)
+	})
 }
 
 func (c *Controller) tryScaleOut(p *sim.Proc, s Sample, reason string) {

@@ -1,6 +1,7 @@
 package elastic
 
 import (
+	"errors"
 	"strings"
 	"testing"
 	"time"
@@ -8,6 +9,7 @@ import (
 	"cloudrepl/internal/cloud"
 	"cloudrepl/internal/cluster"
 	"cloudrepl/internal/core"
+	"cloudrepl/internal/obs"
 	"cloudrepl/internal/repl"
 	"cloudrepl/internal/server"
 	"cloudrepl/internal/sim"
@@ -256,4 +258,76 @@ func TestJudgeKeepsEffectiveScaleOut(t *testing.T) {
 	}
 	env.Stop()
 	env.Shutdown()
+}
+
+// TestScaleCellOnMasterBound: when a ScaleCell hook is wired, a master-bound
+// verdict triggers exactly one cell-split attempt. Success lifts the verdict
+// (the tier now has a second master); failure records cell-scale-failed and
+// leaves the verdict standing so the operator sees the ceiling.
+func TestScaleCellOnMasterBound(t *testing.T) {
+	env, clu, db := newTier(t, 13, 1)
+	calls := 0
+	c := Start(env, Config{
+		ScaleCell: func(p *sim.Proc) error {
+			calls++
+			p.Sleep(5 * time.Second) // splits take time; verdict lifts only after
+			return nil
+		},
+	}, Sources{Cluster: clu, Proxy: db.Proxy()})
+
+	env.Go("test", func(p *sim.Proc) {
+		p.Sleep(2 * time.Minute)
+		c.tryScaleOut(p, Sample{MasterUtil: 0.95, AdmittedCount: 1, Throughput: 10}, "cpu high")
+		// A second demand while the split is in flight must not start another.
+		c.tryScaleOut(p, Sample{MasterUtil: 0.95, AdmittedCount: 1, Throughput: 10}, "cpu high")
+	})
+	env.RunUntil(sim.Time(3 * time.Minute))
+	env.Stop()
+	env.Shutdown()
+
+	if calls != 1 {
+		t.Fatalf("ScaleCell ran %d times, want 1 (in-flight guard)", calls)
+	}
+	if bound, _, _ := c.MasterBound(); bound {
+		t.Error("master-bound verdict not cleared after a successful cell split")
+	}
+	if !hasDecision(c.Decisions(), "cell-added") {
+		t.Error("no cell-added decision recorded")
+	}
+	if c.lastScale != sim.Time(2*time.Minute+5*time.Second) {
+		t.Errorf("lastScale = %v, want 2m5s (cooldown restarts at split completion)", c.lastScale)
+	}
+	reg := obs.NewRegistry()
+	c.PublishMetrics(reg)
+	if got := reg.Counter("elastic.cell_added").Value(); got != 1 {
+		t.Errorf("elastic.cell_added = %v, want 1", got)
+	}
+}
+
+func TestScaleCellFailureKeepsVerdict(t *testing.T) {
+	env, clu, db := newTier(t, 14, 1)
+	c := Start(env, Config{
+		ScaleCell: func(p *sim.Proc) error {
+			p.Sleep(time.Second)
+			return errors.New("source slaves cannot keep up")
+		},
+	}, Sources{Cluster: clu, Proxy: db.Proxy()})
+
+	env.Go("test", func(p *sim.Proc) {
+		p.Sleep(2 * time.Minute)
+		c.tryScaleOut(p, Sample{MasterUtil: 0.95, AdmittedCount: 1, Throughput: 10}, "cpu high")
+	})
+	env.RunUntil(sim.Time(3 * time.Minute))
+	env.Stop()
+	env.Shutdown()
+
+	if bound, _, _ := c.MasterBound(); !bound {
+		t.Error("a failed split must leave the master-bound verdict standing")
+	}
+	if !hasDecision(c.Decisions(), "cell-scale-failed") {
+		t.Error("no cell-scale-failed decision recorded")
+	}
+	if hasDecision(c.Decisions(), "cell-added") {
+		t.Error("cell-added recorded for a failed split")
+	}
 }

@@ -139,6 +139,28 @@ func (r *Registry) Histogram(name string) *metrics.Histogram {
 	return h
 }
 
+// MergeInto publishes every metric of r into dst under prefix, as gauges
+// holding the flattened Snapshot values (histograms arrive pre-expanded to
+// .count/.mean_ms/.p95_ms/.max_ms). A sharded deployment keeps one private
+// registry per cell and merges them into the top-level registry as
+// "shard.<cell>.<component>.<metric>", so per-cell metrics never collide.
+// Iteration is over sorted names, keeping dst's creation order (and any
+// RNG draws downstream) deterministic. No-op when r or dst is nil.
+func (r *Registry) MergeInto(dst *Registry, prefix string) {
+	if r == nil || dst == nil {
+		return
+	}
+	snap := r.Snapshot()
+	names := make([]string, 0, len(snap))
+	for name := range snap {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		dst.Gauge(prefix + name).Set(snap[name])
+	}
+}
+
 // Snapshot flattens every metric into a name→value map: counters and
 // gauges verbatim, histograms expanded to <name>.count, <name>.mean_ms,
 // <name>.p95_ms and <name>.max_ms. The map marshals with sorted keys, so a

@@ -27,6 +27,19 @@ var ErrNoBackend = errors.New("proxy: no live backend available")
 // the per-statement timeout (a partitioned or unresponsive backend).
 var ErrStatementTimeout = errors.New("proxy: statement timed out")
 
+// ErrWrongShard is returned when a statement reaches a proxy whose backend
+// cell does not own the statement's shard key — the client routed on a
+// stale shard map (or hit the brief cutover barrier of an online split).
+// It is deliberately NOT retryable at this proxy: retrying against the
+// same cell can never succeed. The shard router handles it by refreshing
+// its map snapshot and re-routing to the current owner.
+var ErrWrongShard = errors.New("proxy: statement not owned by this shard cell")
+
+// ErrNotOwner is the ownership-check failure, under the name the shard
+// router's retry-after-refresh path matches on. It is the same sentinel as
+// ErrWrongShard, so errors.Is works with either.
+var ErrNotOwner = ErrWrongShard
+
 // PickContext is what a Balancer sees when routing one read.
 type PickContext struct {
 	Master   *repl.Master
@@ -176,6 +189,7 @@ type Stats struct {
 	SlaveReadmissions uint64 // benched slaves returned to rotation
 	Failovers         uint64 // master promotions triggered by this proxy
 	DegradedCommits   uint64 // semi-sync commits that timed out to async
+	WrongShard        uint64 // statements rejected by the ownership check
 }
 
 // RetryPolicy configures client-side robustness: bounded retries with
@@ -292,6 +306,14 @@ type Proxy struct {
 	// Tracer, when set, records a "proxy" route span per statement and one
 	// attempt span per routed backend try. Nil disables tracing.
 	Tracer *obs.Tracer
+
+	// CheckOwner, when set, validates a statement against this proxy's
+	// backend cell before any routing happens: a sharded deployment installs
+	// a hook that extracts the statement's shard key and returns
+	// ErrWrongShard when another cell owns it. The check runs once per
+	// statement (not per retry attempt) because its verdict cannot change by
+	// retrying here.
+	CheckOwner func(sql string, args []sqlengine.Value) error
 
 	inflight    map[*repl.Slave]int
 	health      map[*repl.Slave]*slaveHealth
@@ -482,6 +504,14 @@ func (c *Conn) Exec(p *sim.Proc, sql string, args ...sqlengine.Value) (*ExecResu
 	} else {
 		sp.SetAttr("kind", "write")
 	}
+	if px.CheckOwner != nil {
+		if err := px.CheckOwner(sql, args); err != nil {
+			px.stats.WrongShard++
+			sp.SetAttr("error", "wrong-shard")
+			sp.End(p)
+			return nil, err
+		}
+	}
 	attempts := px.Retry.attempts()
 	var lastErr error
 	for attempt := 1; attempt <= attempts; attempt++ {
@@ -523,10 +553,14 @@ func (px *Proxy) PublishMetrics(reg *obs.Registry) {
 	reg.Counter("proxy.slave_readmissions").Set(float64(s.SlaveReadmissions))
 	reg.Counter("proxy.failovers").Set(float64(s.Failovers))
 	reg.Counter("proxy.degraded_commits").Set(float64(s.DegradedCommits))
+	reg.Counter("proxy.wrong_shard").Set(float64(s.WrongShard))
 }
 
 // retryable reports whether an error may clear on a different backend or a
-// later attempt (infrastructure faults, not SQL errors).
+// later attempt (infrastructure faults, not SQL errors). ErrWrongShard is
+// deliberately excluded: a misrouted statement fails identically on every
+// attempt against this cell, so blind retries would only add latency — the
+// shard router must refresh its map and re-route instead.
 func retryable(err error) bool {
 	return errors.Is(err, ErrNoBackend) ||
 		errors.Is(err, ErrStatementTimeout) ||

@@ -1,0 +1,692 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"cloudrepl/internal/cloud"
+	"cloudrepl/internal/cluster"
+	"cloudrepl/internal/metrics"
+	"cloudrepl/internal/obs"
+	"cloudrepl/internal/proxy"
+	"cloudrepl/internal/repl"
+	"cloudrepl/internal/server"
+	"cloudrepl/internal/sim"
+	"cloudrepl/internal/sqlengine"
+)
+
+// Config describes a sharded deployment.
+type Config struct {
+	// Cells is the initial cell count (>= 1).
+	Cells int
+	// Slots is the hash-slot count (default 64). It bounds how many cells
+	// the cluster can ever grow to and how finely Split can rebalance.
+	Slots int
+	// Keyspace maps the schema onto the shard key space.
+	Keyspace Keyspace
+	// Database is the application database name; the split catch-up replay
+	// filters binlog entries to it (heartbeat and other auxiliary
+	// databases stay cell-local).
+	Database string
+	// Cell is the per-cell cluster template. NamePrefix and Preload are
+	// overwritten per cell ("cell<i>/" and the partitioned preload).
+	Cell cluster.Config
+	// PartitionedPreload builds a cell's preload from an ownership
+	// predicate: the cell loads exactly the rows it owns (plus global
+	// tables, for which owns always reports true).
+	PartitionedPreload func(owns func(table string, key int64) bool) func(srv *server.DBServer) error
+	// ClientPlace locates the client tier for every cell proxy.
+	ClientPlace cloud.Placement
+	// Balancer builds one read balancer per cell (each cell needs its own
+	// instance — balancers keep per-slave state).
+	Balancer func() proxy.Balancer
+	// ReadYourWrites and Retry configure every cell proxy.
+	ReadYourWrites bool
+	Retry          proxy.RetryPolicy
+}
+
+// Cell is one replicated partition: a full master/slaves cluster behind its
+// own proxy, with a private metrics registry that PublishMetrics merges
+// into the top-level one under "shard.cell<i>.".
+type Cell struct {
+	ID  int
+	Clu *cluster.Cluster
+	Px  *proxy.Proxy
+	Reg *obs.Registry
+}
+
+// Stats are the router's cumulative counters.
+type Stats struct {
+	SingleKey         uint64 // statements routed to one owning cell
+	ScatterOps        uint64 // scatter-gather reads (whole operations)
+	ScatterLegs       uint64 // per-cell legs issued by scatters
+	Broadcasts        uint64 // statements sent to every cell
+	AnyReads          uint64 // global-table reads served by one cell
+	WrongShardRetries uint64 // ErrWrongShard observed and retried
+	MapRefreshes      uint64 // stale snapshots replaced after ErrWrongShard
+	DualWrites        uint64 // writes mirrored to the split target
+	Splits            uint64 // completed splits/rebalances
+	SplitAborts       uint64 // splits abandoned (dead target, topology change)
+	MovedRows         uint64 // rows copied by splits
+	ReplayedEntries   uint64 // binlog entries replayed during catch-up
+	Errors            uint64 // statements failed after routing
+}
+
+// Cluster is the sharded database tier: N cells, the authoritative Map and
+// the statement router. It is constructed once per simulation and driven
+// entirely from simulation processes.
+type Cluster struct {
+	env   *sim.Env
+	cloud *cloud.Cloud
+	cfg   Config
+	ks    Keyspace
+	m     *Map
+	cells []*Cell
+
+	routes map[string]*routeInfo
+	mig    *migration
+	stats  Stats
+
+	hSingle  metrics.Histogram // successful single-key statement latency
+	hScatter metrics.Histogram // successful scatter-gather read latency
+
+	tracer *obs.Tracer
+}
+
+// New builds the cells (each preloaded with exactly the rows it owns) and
+// the routing layer. Cells are numbered 0..Cells-1 and their instances are
+// named "cell<i>/master", "cell<i>/slave<j>".
+func New(env *sim.Env, cl *cloud.Cloud, cfg Config) (*Cluster, error) {
+	if cfg.Cells < 1 {
+		return nil, fmt.Errorf("shard: need at least one cell")
+	}
+	if cfg.Slots == 0 {
+		cfg.Slots = 64
+	}
+	if cfg.Cells > cfg.Slots {
+		return nil, fmt.Errorf("shard: %d cells exceed %d slots", cfg.Cells, cfg.Slots)
+	}
+	if err := cfg.Keyspace.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Balancer == nil {
+		cfg.Balancer = func() proxy.Balancer { return &proxy.RoundRobin{} }
+	}
+	s := &Cluster{
+		env:    env,
+		cloud:  cl,
+		cfg:    cfg,
+		ks:     cfg.Keyspace,
+		m:      NewMap(cfg.Slots, cfg.Cells),
+		routes: make(map[string]*routeInfo),
+	}
+	s.hSingle.SetRand(env.Rand())
+	s.hScatter.SetRand(env.Rand())
+	for i := 0; i < cfg.Cells; i++ {
+		if _, err := s.addCell(s.ownsFor(i)); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// addCell builds and registers the next cell with the given preload
+// ownership predicate.
+func (s *Cluster) addCell(owns func(table string, key int64) bool) (*Cell, error) {
+	id := len(s.cells)
+	ccfg := s.cfg.Cell
+	ccfg.NamePrefix = fmt.Sprintf("cell%d/", id)
+	if s.cfg.PartitionedPreload != nil {
+		ccfg.Preload = s.cfg.PartitionedPreload(owns)
+	}
+	clu, err := cluster.New(s.env, s.cloud, ccfg)
+	if err != nil {
+		return nil, fmt.Errorf("shard: cell %d: %w", id, err)
+	}
+	px := proxy.New(s.env, s.cloud.Network(), clu.Master(), s.cfg.ClientPlace, s.cfg.Balancer())
+	px.ReadYourWrites = s.cfg.ReadYourWrites
+	px.Retry = s.cfg.Retry
+	if s.cfg.Retry.FailoverOnMasterDown {
+		px.OnMasterFailure = func(p *sim.Proc) (*repl.Master, error) {
+			return clu.Failover()
+		}
+	}
+	px.CheckOwner = s.checkOwner(id)
+	if s.tracer != nil {
+		px.Tracer = s.tracer
+		clu.SetTracer(s.tracer)
+	}
+	reg := obs.NewRegistry()
+	reg.SetRand(s.env.Rand())
+	cell := &Cell{ID: id, Clu: clu, Px: px, Reg: reg}
+	s.cells = append(s.cells, cell)
+	return cell, nil
+}
+
+// ownsFor is the preload ownership predicate of a cell under the current
+// map: global and unknown tables load everywhere, sharded rows load only
+// into their owning cell.
+func (s *Cluster) ownsFor(cellID int) func(table string, key int64) bool {
+	return func(table string, key int64) bool {
+		if !s.ks.sharded(strings.ToLower(table)) {
+			return true
+		}
+		return s.m.Owner(key) == cellID
+	}
+}
+
+// ownsNothing is the predicate for a split-created cell: schema and global
+// tables only; sharded rows arrive through the split copy.
+func ownsNothing(ks Keyspace) func(table string, key int64) bool {
+	return func(table string, key int64) bool {
+		return !ks.sharded(strings.ToLower(table))
+	}
+}
+
+// Env returns the simulation environment.
+func (s *Cluster) Env() *sim.Env { return s.env }
+
+// Cells returns the cells in id order.
+func (s *Cluster) Cells() []*Cell { return s.cells }
+
+// Cell returns cell i.
+func (s *Cluster) Cell(i int) *Cell { return s.cells[i] }
+
+// NumCells returns the current cell count.
+func (s *Cluster) NumCells() int { return len(s.cells) }
+
+// Map returns the authoritative shard map.
+func (s *Cluster) Map() *Map { return s.m }
+
+// Keyspace returns the schema mapping.
+func (s *Cluster) Keyspace() Keyspace { return s.ks }
+
+// Stats returns the router counters.
+func (s *Cluster) Stats() Stats { return s.stats }
+
+// SingleLatency returns the single-key statement latency histogram.
+func (s *Cluster) SingleLatency() *metrics.Histogram { return &s.hSingle }
+
+// ScatterLatency returns the scatter-gather read latency histogram.
+func (s *Cluster) ScatterLatency() *metrics.Histogram { return &s.hScatter }
+
+// SetTracer wires tracing through every cell's proxy and replication
+// topology.
+func (s *Cluster) SetTracer(tr *obs.Tracer) {
+	s.tracer = tr
+	for _, c := range s.cells {
+		c.Px.Tracer = tr
+		c.Clu.SetTracer(tr)
+	}
+}
+
+// route returns the cached routing decision for a statement text.
+func (s *Cluster) route(sql string) *routeInfo {
+	if ri, ok := s.routes[sql]; ok {
+		return ri
+	}
+	ri := analyze(sql, s.ks)
+	s.routes[sql] = ri
+	return ri
+}
+
+// checkOwner builds a cell proxy's ownership check. It validates against
+// the live map (not a snapshot), so a client routing on a stale snapshot
+// gets proxy.ErrWrongShard and re-resolves. During a split's cutover
+// barrier it also rejects statements on moving keys and scatter legs on
+// the source cell, draining the source for the final catch-up.
+func (s *Cluster) checkOwner(cellID int) func(sql string, args []sqlengine.Value) error {
+	return func(sql string, args []sqlengine.Value) error {
+		ri := s.route(sql)
+		if ri.err != nil {
+			return nil // router surfaces its own error on the client path
+		}
+		switch ri.kind {
+		case routeSingle:
+			keys, err := ri.resolveKeys(args)
+			if err != nil {
+				return nil
+			}
+			mig := s.mig
+			for _, k := range keys {
+				if mig != nil && mig.barrier && mig.moving[s.m.SlotOf(k)] {
+					return proxy.ErrWrongShard
+				}
+				if s.m.Owner(k) != cellID {
+					return proxy.ErrWrongShard
+				}
+			}
+		case routeScatter:
+			if mig := s.mig; mig != nil && mig.barrier && cellID == mig.src {
+				return proxy.ErrWrongShard
+			}
+		}
+		return nil
+	}
+}
+
+// Conn is one routed client connection: a cached map snapshot plus one
+// lazily-opened proxy connection per cell. The snapshot refreshes only
+// when a cell rejects a statement with proxy.ErrWrongShard, so every
+// topology change exercises the typed retry path end to end.
+type Conn struct {
+	sc    *Cluster
+	db    string
+	snap  *Snapshot
+	conns []*proxy.Conn
+	// dualSess caches direct sessions on split-target masters for the
+	// dual-write window.
+	dualSess map[*server.DBServer]*sqlengine.Session
+	anyN     uint64 // round-robin cursor for routeAny
+}
+
+// Connect opens a routed connection with the given default database.
+func (s *Cluster) Connect(db string) *Conn {
+	return &Conn{sc: s, db: db, snap: s.m.Snapshot()}
+}
+
+// cellConn returns (opening if needed) the proxy connection to cell id.
+func (c *Conn) cellConn(id int) *proxy.Conn {
+	for len(c.conns) <= id {
+		c.conns = append(c.conns, nil)
+	}
+	if c.conns[id] == nil {
+		c.conns[id] = c.sc.cells[id].Px.Connect(c.db)
+	}
+	return c.conns[id]
+}
+
+// refresh replaces the connection's map snapshot with the live map.
+func (c *Conn) refresh() {
+	c.snap = c.sc.m.Snapshot()
+	c.sc.stats.MapRefreshes++
+}
+
+// Route-refresh retry shape: the cutover barrier of a split lasts drain +
+// final replay + source cleanup, so the backoff budget (~2.3 s total) must
+// comfortably exceed the worst barrier we measure (tens of milliseconds).
+const maxRouteRetries = 14
+
+func routeBackoff(attempt int) time.Duration {
+	d := 5 * time.Millisecond << uint(attempt)
+	if d > 250*time.Millisecond {
+		d = 250 * time.Millisecond
+	}
+	return d
+}
+
+// Exec routes and executes one statement. Single-key statements go to the
+// owning cell; multi-key reads scatter to every slot-owning cell and merge;
+// global writes broadcast. A proxy.ErrWrongShard reply (stale snapshot or
+// cutover barrier) refreshes the snapshot and retries with backoff.
+func (c *Conn) Exec(p *sim.Proc, sql string, args ...sqlengine.Value) (*proxy.ExecResult, error) {
+	ri := c.sc.route(sql)
+	if ri.err != nil {
+		c.sc.stats.Errors++
+		return nil, ri.err
+	}
+	start := p.Now()
+	var res *proxy.ExecResult
+	var err error
+	for attempt := 0; ; attempt++ {
+		res, err = c.execOnce(p, ri, sql, args)
+		if err == nil || !errors.Is(err, proxy.ErrWrongShard) {
+			break
+		}
+		if attempt >= maxRouteRetries {
+			break
+		}
+		c.sc.stats.WrongShardRetries++
+		c.refresh()
+		p.Sleep(routeBackoff(attempt))
+	}
+	if err != nil {
+		c.sc.stats.Errors++
+		return nil, err
+	}
+	lat := time.Duration(p.Now() - start)
+	res.Latency = lat
+	if ri.kind == routeScatter {
+		c.sc.hScatter.Record(lat)
+	} else {
+		c.sc.hSingle.Record(lat)
+	}
+	return res, nil
+}
+
+// Query is Exec returning only the result set.
+func (c *Conn) Query(p *sim.Proc, sql string, args ...sqlengine.Value) (*sqlengine.ResultSet, error) {
+	res, err := c.Exec(p, sql, args...)
+	if err != nil {
+		return nil, err
+	}
+	if res.Result == nil {
+		return nil, nil
+	}
+	return res.Result.Set, nil
+}
+
+// execOnce performs one routing attempt.
+func (c *Conn) execOnce(p *sim.Proc, ri *routeInfo, sql string, args []sqlengine.Value) (*proxy.ExecResult, error) {
+	// Full-coverage routes (scatter, broadcast) cannot rely on the lazy
+	// ErrWrongShard path to expose a stale snapshot: a leg to a cell that
+	// shrank is still "owned" statement-by-statement, so a scatter routed
+	// on a pre-split snapshot would silently miss the new cell's rows.
+	// Validate the snapshot epoch against the authoritative map before
+	// fanning out; single-key routes keep the cached snapshot and let the
+	// owning cell's ownership check catch staleness.
+	if ri.kind == routeScatter || ri.kind == routeBroadcast {
+		if c.snap.Version() != c.sc.m.Version() {
+			c.refresh()
+		}
+	}
+	switch ri.kind {
+	case routeAny:
+		c.sc.stats.AnyReads++
+		id := int(c.anyN) % len(c.sc.cells)
+		c.anyN++
+		return c.cellConn(id).Exec(p, sql, args...)
+	case routeBroadcast:
+		return c.broadcast(p, ri, sql, args)
+	case routeScatter:
+		return c.scatter(p, ri, sql, args)
+	default:
+		return c.single(p, ri, sql, args)
+	}
+}
+
+// single executes on the owning cell per the connection's snapshot, then
+// mirrors successful writes on moving keys to the split target.
+func (c *Conn) single(p *sim.Proc, ri *routeInfo, sql string, args []sqlengine.Value) (*proxy.ExecResult, error) {
+	keys, err := ri.resolveKeys(args)
+	if err != nil {
+		return nil, err
+	}
+	owner := c.snap.Owner(keys[0])
+	for _, k := range keys[1:] {
+		if c.snap.Owner(k) != owner {
+			return nil, fmt.Errorf("shard: statement spans cells (keys hash to different owners)")
+		}
+	}
+	c.sc.stats.SingleKey++
+	mig, tracked := c.sc.trackKeys(keys)
+	res, execErr := c.cellConn(owner).Exec(p, sql, args...)
+	if execErr == nil && ri.write {
+		c.dualWrite(p, mig, ri, keys, owner, sql, args)
+	}
+	if tracked {
+		mig.leave()
+	}
+	return res, execErr
+}
+
+// dualWrite mirrors a committed write on moving keys to the split target's
+// master, inside the client's process so the dual-write latency is paid
+// honestly. A duplicate-key reply means the copy already delivered the row;
+// any other failure marks the migration failed (the split aborts, the
+// source stays authoritative).
+func (c *Conn) dualWrite(p *sim.Proc, mig *migration, ri *routeInfo, keys []int64, owner int, sql string, args []sqlengine.Value) {
+	if mig == nil || mig.failed || owner != mig.src {
+		return
+	}
+	moving, mixed := mig.covers(c.sc.m, keys)
+	if mixed {
+		mig.fail(fmt.Errorf("shard: statement mixes moving and non-moving slots during split"))
+		return
+	}
+	if !moving {
+		return
+	}
+	dstSrv := c.sc.cells[mig.dst].Clu.Master().Srv
+	if c.dualSess == nil {
+		c.dualSess = make(map[*server.DBServer]*sqlengine.Session)
+	}
+	sess := c.dualSess[dstSrv]
+	if sess == nil {
+		sess = dstSrv.Session(c.db)
+		c.dualSess[dstSrv] = sess
+	}
+	if _, err := dstSrv.Exec(p, sess, sql, args...); err != nil && !errors.Is(err, sqlengine.ErrDuplicateKey) {
+		mig.fail(fmt.Errorf("shard: dual-write to cell %d: %w", mig.dst, err))
+		return
+	}
+	mig.recordKeys(ri.table, keys)
+	mig.dualWrites++
+	c.sc.stats.DualWrites++
+}
+
+// broadcast runs a statement on every cell in id order (DDL, global-table
+// writes). A write broadcast during an active split aborts the split: the
+// catch-up replay only repairs single-key writes, so racing a broadcast
+// against the copy could strand a stale row on the target.
+func (c *Conn) broadcast(p *sim.Proc, ri *routeInfo, sql string, args []sqlengine.Value) (*proxy.ExecResult, error) {
+	c.sc.stats.Broadcasts++
+	if mig := c.sc.activeMigration(); mig != nil && ri.write {
+		mig.fail(fmt.Errorf("shard: broadcast write during split"))
+	}
+	var last *proxy.ExecResult
+	for _, cell := range c.sc.cells {
+		res, err := c.cellConn(cell.ID).Exec(p, sql, args...)
+		if err != nil {
+			return nil, fmt.Errorf("shard: broadcast on cell %d: %w", cell.ID, err)
+		}
+		last = res
+	}
+	return last, nil
+}
+
+// activeMigration returns the active, not-yet-failed migration, if any.
+func (s *Cluster) activeMigration() *migration {
+	if s.mig != nil && !s.mig.failed {
+		return s.mig
+	}
+	return nil
+}
+
+// trackKeys registers a statement touching moving slots with the active
+// migration's in-flight count (the cutover drain waits for it to reach
+// zero). Returns the migration and whether leave() must be called.
+// Statements arriving during the barrier are not tracked: the ownership
+// check rejects them in the same simulation instant, and counting their
+// retries as in-flight would let arrivals hold the drain open forever.
+func (s *Cluster) trackKeys(keys []int64) (*migration, bool) {
+	mig := s.activeMigration()
+	if mig == nil || mig.barrier {
+		return mig, false
+	}
+	for _, k := range keys {
+		if mig.moving[s.m.SlotOf(k)] {
+			mig.enter()
+			return mig, true
+		}
+	}
+	return mig, false
+}
+
+// scatter fans a multi-key read out to every slot-owning cell, one
+// simulation process per leg, and merges the per-cell results in cell
+// order. Legs run against the rewritten per-cell statement (ORDER BY
+// columns projected, LIMIT pushed down); a single-target scatter
+// short-circuits to the original statement.
+func (c *Conn) scatter(p *sim.Proc, ri *routeInfo, sql string, args []sqlengine.Value) (*proxy.ExecResult, error) {
+	targets := c.snap.Cells()
+	mig := c.sc.activeMigration()
+	tracked := false
+	if mig != nil && !mig.barrier { // barrier arrivals bounce, not drain-tracked
+		for _, t := range targets {
+			if t == mig.src {
+				mig.enter()
+				tracked = true
+			}
+		}
+	}
+	res, err := c.scatterLegs(p, ri, sql, args, targets)
+	if tracked {
+		mig.leave()
+	}
+	return res, err
+}
+
+func (c *Conn) scatterLegs(p *sim.Proc, ri *routeInfo, sql string, args []sqlengine.Value, targets []int) (*proxy.ExecResult, error) {
+	c.sc.stats.ScatterOps++
+	c.sc.stats.ScatterLegs += uint64(len(targets))
+	if len(targets) == 1 {
+		// Every slot lives on one cell: the original statement is already
+		// complete there, no rewrite or merge needed.
+		return c.cellConn(targets[0]).Exec(p, sql, args...)
+	}
+	legSQL := ri.plan.cellSQL
+	results := make([]*proxy.ExecResult, len(targets))
+	errs := make([]error, len(targets))
+	done := 0
+	sig := sim.NewSignal(c.sc.env).Named("shard/scatter")
+	for i, id := range targets {
+		i, id := i, id
+		conn := c.cellConn(id)
+		c.sc.env.Go("shard/scatter-leg", func(lp *sim.Proc) {
+			results[i], errs[i] = conn.Exec(lp, legSQL, args...)
+			done++
+			sig.Broadcast()
+		})
+	}
+	for done < len(targets) {
+		sig.Wait(p)
+	}
+	var sets []*sqlengine.ResultSet
+	var examined, returned int
+	for i := range targets {
+		if errs[i] != nil {
+			// ErrWrongShard on any leg retries the whole scatter after a
+			// refresh; other failures surface as the scatter's error.
+			return nil, errs[i]
+		}
+		r := results[i].Result
+		if r != nil && r.Set != nil {
+			sets = append(sets, r.Set)
+			examined += r.Stats.RowsExamined
+		}
+	}
+	merged, err := ri.plan.merge(sets)
+	if err != nil {
+		return nil, err
+	}
+	returned = len(merged.Rows)
+	out := &sqlengine.Result{Set: merged}
+	out.Stats.RowsExamined = examined
+	out.Stats.RowsReturned = returned
+	return &proxy.ExecResult{Result: out}, nil
+}
+
+// PublishMetrics snapshots the router and every cell into reg: top-level
+// "shard.*" gauges and counters, per-cell metrics namespaced
+// "shard.cell<i>.<component>.<metric>".
+func (s *Cluster) PublishMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Gauge("shard.cells").Set(float64(len(s.cells)))
+	reg.Gauge("shard.slots").Set(float64(s.m.NumSlots()))
+	reg.Gauge("shard.map_version").Set(float64(s.m.Version()))
+	st := s.stats
+	reg.Counter("shard.router.single_key").Set(float64(st.SingleKey))
+	reg.Counter("shard.router.scatter_ops").Set(float64(st.ScatterOps))
+	reg.Counter("shard.router.scatter_legs").Set(float64(st.ScatterLegs))
+	reg.Counter("shard.router.broadcasts").Set(float64(st.Broadcasts))
+	reg.Counter("shard.router.any_reads").Set(float64(st.AnyReads))
+	reg.Counter("shard.router.wrong_shard_retries").Set(float64(st.WrongShardRetries))
+	reg.Counter("shard.router.map_refreshes").Set(float64(st.MapRefreshes))
+	reg.Counter("shard.router.dual_writes").Set(float64(st.DualWrites))
+	reg.Counter("shard.router.splits").Set(float64(st.Splits))
+	reg.Counter("shard.router.split_aborts").Set(float64(st.SplitAborts))
+	reg.Counter("shard.router.moved_rows").Set(float64(st.MovedRows))
+	reg.Counter("shard.router.replayed_entries").Set(float64(st.ReplayedEntries))
+	reg.Counter("shard.router.errors").Set(float64(st.Errors))
+	publishHist(reg, "shard.latency.single", &s.hSingle)
+	publishHist(reg, "shard.latency.scatter", &s.hScatter)
+	for _, cell := range s.cells {
+		cell.Px.PublishMetrics(cell.Reg)
+		cell.Clu.Master().PublishMetrics(cell.Reg)
+		cell.Reg.MergeInto(reg, fmt.Sprintf("shard.cell%d.", cell.ID))
+	}
+}
+
+// publishHist exposes a histogram the router owns (p99 included — tail
+// latency of scatters is a headline shard metric) as gauges.
+func publishHist(reg *obs.Registry, name string, h *metrics.Histogram) {
+	sum := h.Summary()
+	reg.Gauge(name + ".count").Set(float64(h.Total()))
+	reg.Gauge(name + ".mean_ms").Set(sum.Mean)
+	reg.Gauge(name + ".p95_ms").Set(sum.P95)
+	reg.Gauge(name + ".p99_ms").Set(float64(h.Percentile(0.99)) / float64(time.Millisecond))
+	reg.Gauge(name + ".max_ms").Set(sum.Max)
+}
+
+// CellThroughput distributes served statements per cell: reads+writes seen
+// by each cell proxy. Useful for per-cell throughput reporting.
+func (s *Cluster) CellThroughput() []uint64 {
+	out := make([]uint64, len(s.cells))
+	for i, c := range s.cells {
+		ps := c.Px.Stats()
+		out[i] = ps.Reads + ps.Writes
+	}
+	return out
+}
+
+// RowCount scans every cell's master for the total row count of a sharded
+// table (free reads — validation only, no simulated cost). Each row is
+// counted once per owning cell; duplicates across cells inflate the total,
+// lost rows deflate it, which is exactly what the split chaos test checks.
+func (s *Cluster) RowCount(table string) (int, error) {
+	total := 0
+	for _, cell := range s.cells {
+		srv := cell.Clu.Master().Srv
+		sess := srv.Session(s.cfg.Database)
+		res, err := srv.ExecFree(sess, "SELECT COUNT(*) AS n FROM "+table)
+		if err != nil {
+			return 0, fmt.Errorf("shard: count %s on cell %d: %w", table, cell.ID, err)
+		}
+		if res.Set != nil && len(res.Set.Rows) == 1 {
+			total += int(res.Set.Rows[0][0].Int())
+		}
+	}
+	return total, nil
+}
+
+// Keys scans every cell's master and returns each cell's key set for a
+// sharded table (free reads — validation only).
+func (s *Cluster) Keys(table string) ([]map[int64]int, error) {
+	kc, ok := s.ks.keyColumn(strings.ToLower(table))
+	if !ok {
+		return nil, fmt.Errorf("shard: %s is not sharded", table)
+	}
+	out := make([]map[int64]int, len(s.cells))
+	for i, cell := range s.cells {
+		srv := cell.Clu.Master().Srv
+		sess := srv.Session(s.cfg.Database)
+		res, err := srv.ExecFree(sess, fmt.Sprintf("SELECT %s FROM %s", kc, table))
+		if err != nil {
+			return nil, fmt.Errorf("shard: scan %s on cell %d: %w", table, cell.ID, err)
+		}
+		m := make(map[int64]int)
+		if res.Set != nil {
+			for _, r := range res.Set.Rows {
+				m[r[0].Int()]++
+			}
+		}
+		out[i] = m
+	}
+	return out, nil
+}
+
+// sortedKeys returns a deterministic ordering of a key set.
+func sortedKeys(m map[int64]bool) []int64 {
+	out := make([]int64, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

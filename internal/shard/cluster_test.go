@@ -1,0 +1,489 @@
+package shard
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+	"time"
+
+	"cloudrepl/internal/chaos"
+	"cloudrepl/internal/cloud"
+	"cloudrepl/internal/cluster"
+	"cloudrepl/internal/repl"
+	"cloudrepl/internal/server"
+	"cloudrepl/internal/sim"
+	"cloudrepl/internal/sqlengine"
+)
+
+// kvPreload builds the partitioned preload for a tiny kv schema: one
+// sharded table and one global lookup table.
+func kvPreload(rows int) func(owns func(table string, key int64) bool) func(*server.DBServer) error {
+	return func(owns func(table string, key int64) bool) func(*server.DBServer) error {
+		return func(srv *server.DBServer) error {
+			sess := srv.Session("")
+			for _, sql := range []string{
+				"CREATE DATABASE app",
+				"USE app",
+				"CREATE TABLE kv (id BIGINT PRIMARY KEY, v VARCHAR(20))",
+				"CREATE TABLE g (id BIGINT PRIMARY KEY, name VARCHAR(20))",
+			} {
+				if _, err := srv.ExecFree(sess, sql); err != nil {
+					return err
+				}
+			}
+			for i := 1; i <= 3; i++ {
+				if _, err := srv.ExecFree(sess, "INSERT INTO g (id, name) VALUES (?, ?)",
+					sqlengine.NewInt(int64(i)), sqlengine.NewString(fmt.Sprintf("g%d", i))); err != nil {
+					return err
+				}
+			}
+			for i := 1; i <= rows; i++ {
+				if !owns("kv", int64(i)) {
+					continue
+				}
+				if _, err := srv.ExecFree(sess, "INSERT INTO kv (id, v) VALUES (?, 'seed')",
+					sqlengine.NewInt(int64(i))); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+	}
+}
+
+func newShard(t *testing.T, seed int64, cells, slots, rows int) (*sim.Env, *cloud.Cloud, *Cluster) {
+	t.Helper()
+	env := sim.NewEnv(seed)
+	cl := cloud.New(env, cloud.Config{})
+	place := cloud.Placement{Region: cloud.USWest1, Zone: "a"}
+	sc, err := New(env, cl, Config{
+		Cells: cells,
+		Slots: slots,
+		Keyspace: Keyspace{
+			Key:    map[string]string{"kv": "id"},
+			Global: map[string]bool{"g": true},
+		},
+		Database: "app",
+		Cell: cluster.Config{
+			Mode:   repl.Async,
+			Cost:   server.DefaultCostModel(),
+			Master: cluster.NodeSpec{Place: place},
+			Slaves: []cluster.NodeSpec{{Place: place}},
+		},
+		PartitionedPreload: kvPreload(rows),
+		ClientPlace:        place,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env, cl, sc
+}
+
+// keyCensus flattens per-cell key multisets into total count per key.
+func keyCensus(t *testing.T, sc *Cluster, table string) map[int64]int {
+	t.Helper()
+	sets, err := sc.Keys(table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := make(map[int64]int)
+	for _, set := range sets {
+		for k, n := range set {
+			total[k] += n
+		}
+	}
+	return total
+}
+
+// assertExactlyOnce fails unless each of want keys appears exactly once
+// across all cells, with no extras.
+func assertExactlyOnce(t *testing.T, sc *Cluster, table string, want map[int64]bool) {
+	t.Helper()
+	got := keyCensus(t, sc, table)
+	for k := range want {
+		switch got[k] {
+		case 1:
+		case 0:
+			t.Errorf("%s key %d lost", table, k)
+		default:
+			t.Errorf("%s key %d duplicated %d times", table, k, got[k])
+		}
+	}
+	for k, n := range got {
+		if !want[k] {
+			t.Errorf("%s key %d unexpected (count %d)", table, k, n)
+		}
+	}
+}
+
+func TestPartitionedPreloadExactlyOnce(t *testing.T) {
+	const rows = 200
+	env, _, sc := newShard(t, 1, 4, 16, rows)
+	env.RunUntil(time.Second)
+	want := make(map[int64]bool, rows)
+	for i := 1; i <= rows; i++ {
+		want[int64(i)] = true
+	}
+	assertExactlyOnce(t, sc, "kv", want)
+	// Every cell holds the full global table.
+	for _, cell := range sc.Cells() {
+		srv := cell.Clu.Master().Srv
+		res, err := srv.ExecFree(srv.Session("app"), "SELECT COUNT(*) AS n FROM g")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n := res.Set.Rows[0][0].Int(); n != 3 {
+			t.Errorf("cell %d has %d global rows, want 3", cell.ID, n)
+		}
+	}
+	// Instance names are per-cell namespaced.
+	if sc.Cell(2).Clu.Master().Srv.Name != "cell2/master" {
+		t.Errorf("master name = %q", sc.Cell(2).Clu.Master().Srv.Name)
+	}
+	env.Stop()
+	env.Shutdown()
+}
+
+func TestRoutedExecEndToEnd(t *testing.T) {
+	const rows = 60
+	env, _, sc := newShard(t, 2, 3, 12, rows)
+	failed := false
+	env.Go("app", func(p *sim.Proc) {
+		conn := sc.Connect("app")
+		// Single-key reads hit every preloaded row wherever it lives.
+		for i := 1; i <= rows; i++ {
+			set, err := conn.Query(p, "SELECT v FROM kv WHERE id = ?", sqlengine.NewInt(int64(i)))
+			if err != nil || len(set.Rows) != 1 {
+				t.Errorf("id %d: err=%v rows=%v", i, err, set)
+				failed = true
+				return
+			}
+		}
+		// Scatter read: globally ordered union of all cells.
+		set, err := conn.Query(p, "SELECT id FROM kv ORDER BY id")
+		if err != nil {
+			t.Errorf("scatter: %v", err)
+			failed = true
+			return
+		}
+		if len(set.Rows) != rows {
+			t.Errorf("scatter rows = %d, want %d", len(set.Rows), rows)
+			failed = true
+		}
+		for i, r := range set.Rows {
+			if r[0].Int() != int64(i+1) {
+				t.Errorf("scatter row %d = %d, want %d", i, r[0].Int(), i+1)
+				failed = true
+				return
+			}
+		}
+		// Scatter aggregate.
+		set, err = conn.Query(p, "SELECT COUNT(*) AS n FROM kv")
+		if err != nil || set.Rows[0][0].Int() != rows {
+			t.Errorf("count: err=%v set=%v", err, set)
+			failed = true
+		}
+		// Routed write, read-back through the router.
+		if _, err := conn.Exec(p, "INSERT INTO kv (id, v) VALUES (?, 'new')", sqlengine.NewInt(int64(rows+1))); err != nil {
+			t.Errorf("insert: %v", err)
+			failed = true
+		}
+		set, err = conn.Query(p, "SELECT v FROM kv WHERE id = ?", sqlengine.NewInt(int64(rows+1)))
+		if err != nil || len(set.Rows) != 1 || set.Rows[0][0].Str() != "new" {
+			t.Errorf("read-back: err=%v set=%v", err, set)
+			failed = true
+		}
+		// Global-table read and write.
+		if _, err := conn.Query(p, "SELECT name FROM g WHERE id = 1"); err != nil {
+			t.Errorf("global read: %v", err)
+			failed = true
+		}
+		if _, err := conn.Exec(p, "INSERT INTO g (id, name) VALUES (9, 'g9')"); err != nil {
+			t.Errorf("global write: %v", err)
+			failed = true
+		}
+	})
+	env.RunUntil(5 * time.Minute)
+	if failed {
+		t.FailNow()
+	}
+	st := sc.Stats()
+	if st.SingleKey == 0 || st.ScatterOps == 0 || st.AnyReads == 0 || st.Broadcasts == 0 {
+		t.Fatalf("router stats missing a class: %+v", st)
+	}
+	if st.ScatterLegs < st.ScatterOps*3 {
+		t.Fatalf("scatter legs %d < ops %d × 3 cells", st.ScatterLegs, st.ScatterOps)
+	}
+	if st.Errors != 0 {
+		t.Fatalf("router errors: %d", st.Errors)
+	}
+	// The broadcast write landed on every cell.
+	for _, cell := range sc.Cells() {
+		srv := cell.Clu.Master().Srv
+		res, err := srv.ExecFree(srv.Session("app"), "SELECT COUNT(*) AS n FROM g")
+		if err != nil || res.Set.Rows[0][0].Int() != 4 {
+			t.Fatalf("cell %d global rows: err=%v res=%v", cell.ID, err, res)
+		}
+	}
+	env.Stop()
+	env.Shutdown()
+}
+
+// TestSplitOnline runs a live split under continuous single-key writes and
+// scatter reads, then checks that no row was lost or duplicated, ownership
+// moved, and the write-unavailability window stayed small.
+func TestSplitOnline(t *testing.T) {
+	const rows = 150
+	env, _, sc := newShard(t, 3, 1, 16, rows)
+	nextID := int64(rows)
+	written := map[int64]bool{}
+	stop := false
+	for w := 0; w < 4; w++ {
+		env.Go(fmt.Sprintf("writer%d", w), func(p *sim.Proc) {
+			conn := sc.Connect("app")
+			for i := 0; !stop; i++ {
+				nextID++
+				id := nextID
+				if _, err := conn.Exec(p, "INSERT INTO kv (id, v) VALUES (?, 'live')", sqlengine.NewInt(id)); err != nil {
+					t.Errorf("live insert %d: %v", id, err)
+					return
+				}
+				written[id] = true
+				// Scatter occasionally: the read load must leave the source
+				// slaves apply headroom, or the cutover (correctly) refuses
+				// to freeze writes behind slaves that cannot catch up.
+				if i%4 == 0 {
+					if _, err := conn.Query(p, "SELECT COUNT(*) AS n FROM kv"); err != nil {
+						t.Errorf("live scatter: %v", err)
+						return
+					}
+				}
+				p.Sleep(100 * time.Millisecond)
+			}
+		})
+	}
+	var rep *SplitReport
+	env.Go("splitter", func(p *sim.Proc) {
+		p.Sleep(2 * time.Second)
+		r, err := sc.Split(p)
+		if err != nil {
+			t.Errorf("split: %v", err)
+			return
+		}
+		rep = r
+		p.Sleep(2 * time.Second)
+		stop = true
+	})
+	env.RunUntil(10 * time.Minute)
+	if t.Failed() {
+		t.FailNow()
+	}
+	if rep == nil {
+		t.Fatal("split never completed")
+	}
+	if rep.Aborted {
+		t.Fatalf("split aborted: %s", rep.Err)
+	}
+	if sc.NumCells() != 2 || sc.Map().Version() != 2 {
+		t.Fatalf("cells=%d version=%d after split", sc.NumCells(), sc.Map().Version())
+	}
+	if rep.MovedRows == 0 {
+		t.Fatal("split moved no rows")
+	}
+	// The barrier (drain + final replay + source cleanup) must stay well
+	// under both the copy duration and the clients' ErrWrongShard retry
+	// budget (~2.3 s) — otherwise writers would surface errors above.
+	if rep.Downtime <= 0 || rep.Downtime > 2*time.Second {
+		t.Fatalf("downtime = %v, want (0, 2s]", rep.Downtime)
+	}
+	if rep.Downtime >= rep.CopyDuration {
+		t.Fatalf("downtime %v not << copy %v", rep.Downtime, rep.CopyDuration)
+	}
+	// Both cells own slots and hold rows.
+	loads := sc.Map().CellLoads(1)
+	if loads[0] == 0 || loads[1] == 0 {
+		t.Fatalf("slot loads after split: %v", loads)
+	}
+	want := make(map[int64]bool, rows+len(written))
+	for i := 1; i <= rows; i++ {
+		want[int64(i)] = true
+	}
+	for id := range written {
+		want[id] = true
+	}
+	assertExactlyOnce(t, sc, "kv", want)
+	st := sc.Stats()
+	if st.Splits != 1 {
+		t.Fatalf("splits = %d", st.Splits)
+	}
+	env.Stop()
+	env.Shutdown()
+}
+
+// TestSplitChaosKillTarget kills the split target's master mid-copy. The
+// split must abort, the fresh cell must leave the routing set, writes must
+// keep flowing, and no row may be lost or duplicated.
+func TestSplitChaosKillTarget(t *testing.T) {
+	const rows = 400
+	env, cl, sc := newShard(t, 4, 1, 16, rows)
+	var splitAt sim.Time
+	nextID := int64(rows)
+	written := map[int64]bool{}
+	stop := false
+	env.Go("writer", func(p *sim.Proc) {
+		conn := sc.Connect("app")
+		for !stop {
+			nextID++
+			id := nextID
+			if _, err := conn.Exec(p, "INSERT INTO kv (id, v) VALUES (?, 'live')", sqlengine.NewInt(id)); err != nil {
+				t.Errorf("live insert %d: %v", id, err)
+				return
+			}
+			written[id] = true
+			p.Sleep(10 * time.Millisecond)
+		}
+	})
+	var rep *SplitReport
+	env.Go("splitter", func(p *sim.Proc) {
+		splitAt = p.Now()
+		r, err := sc.Split(p)
+		if err != nil {
+			t.Errorf("split: %v", err)
+			return
+		}
+		rep = r
+		p.Sleep(2 * time.Second)
+		stop = true
+	})
+	// Kill the freshly created target master while the copy is running.
+	env.Go("killer", func(p *sim.Proc) {
+		p.Sleep(50 * time.Millisecond)
+		chaos.Start(env, cl, (&chaos.Schedule{}).Crash(time.Duration(p.Now())+time.Millisecond, "cell1/master"))
+	})
+	env.RunUntil(10 * time.Minute)
+	if t.Failed() {
+		t.FailNow()
+	}
+	if rep == nil {
+		t.Fatal("split never returned")
+	}
+	if !rep.Aborted {
+		t.Fatalf("split did not abort (moved %d rows in %v starting %v)", rep.MovedRows, rep.CopyDuration, splitAt)
+	}
+	if sc.NumCells() != 1 {
+		t.Fatalf("cells = %d after aborted split, want 1 (fresh cell retired)", sc.NumCells())
+	}
+	if sc.Map().Version() != 1 {
+		t.Fatalf("map version = %d after aborted split, want 1", sc.Map().Version())
+	}
+	if sc.Stats().SplitAborts != 1 {
+		t.Fatalf("split aborts = %d", sc.Stats().SplitAborts)
+	}
+	want := make(map[int64]bool, rows+len(written))
+	for i := 1; i <= rows; i++ {
+		want[int64(i)] = true
+	}
+	for id := range written {
+		want[id] = true
+	}
+	assertExactlyOnce(t, sc, "kv", want)
+	env.Stop()
+	env.Shutdown()
+}
+
+// TestStaleSnapshotRetriesAfterSplit: a connection created before the split
+// keeps routing on its old snapshot; its first statement on a moved key is
+// rejected typed, refreshed and retried — never silently misrouted.
+func TestStaleSnapshotRetriesAfterSplit(t *testing.T) {
+	const rows = 80
+	env, _, sc := newShard(t, 5, 1, 8, rows)
+	env.Go("app", func(p *sim.Proc) {
+		conn := sc.Connect("app") // snapshot at version 1
+		if _, err := sc.Split(p); err != nil {
+			t.Errorf("split: %v", err)
+			return
+		}
+		// Find a key now owned by the new cell.
+		moved := int64(-1)
+		for i := 1; i <= rows; i++ {
+			if sc.Map().Owner(int64(i)) == 1 {
+				moved = int64(i)
+				break
+			}
+		}
+		if moved < 0 {
+			t.Error("no key moved to cell 1")
+			return
+		}
+		before := sc.Stats().WrongShardRetries
+		set, err := conn.Query(p, "SELECT v FROM kv WHERE id = ?", sqlengine.NewInt(moved))
+		if err != nil || len(set.Rows) != 1 {
+			t.Errorf("stale read of %d: err=%v set=%v", moved, err, set)
+			return
+		}
+		if sc.Stats().WrongShardRetries <= before {
+			t.Error("stale snapshot was not corrected through ErrWrongShard")
+		}
+		if sc.Stats().MapRefreshes == 0 {
+			t.Error("no map refresh recorded")
+		}
+	})
+	env.RunUntil(10 * time.Minute)
+	env.Stop()
+	env.Shutdown()
+}
+
+// TestShardDeterminism runs the same seeded scenario twice and requires a
+// byte-identical fingerprint of stats, map state and per-cell key sets.
+func TestShardDeterminism(t *testing.T) {
+	run := func() string {
+		const rows = 100
+		env, _, sc := newShard(t, 7, 1, 16, rows)
+		stop := false
+		nextID := int64(rows)
+		env.Go("writer", func(p *sim.Proc) {
+			conn := sc.Connect("app")
+			for !stop {
+				nextID++
+				if _, err := conn.Exec(p, "INSERT INTO kv (id, v) VALUES (?, 'live')", sqlengine.NewInt(nextID)); err != nil {
+					t.Errorf("insert: %v", err)
+					return
+				}
+				if _, err := conn.Query(p, "SELECT id FROM kv ORDER BY id DESC LIMIT 5"); err != nil {
+					t.Errorf("scatter: %v", err)
+					return
+				}
+				p.Sleep(30 * time.Millisecond)
+			}
+		})
+		var rep *SplitReport
+		env.Go("splitter", func(p *sim.Proc) {
+			p.Sleep(time.Second)
+			rep, _ = sc.Split(p)
+			p.Sleep(time.Second)
+			stop = true
+		})
+		env.RunUntil(5 * time.Minute)
+		sets, err := sc.Keys("kv")
+		if err != nil {
+			t.Fatal(err)
+		}
+		fp := fmt.Sprintf("stats=%+v version=%d cells=%d rep=%+v now=%d\n",
+			sc.Stats(), sc.Map().Version(), sc.NumCells(), rep, env.Now())
+		for i, set := range sets {
+			keys := make([]int64, 0, len(set))
+			for k := range set {
+				keys = append(keys, k)
+			}
+			sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
+			fp += fmt.Sprintf("cell%d=%v\n", i, keys)
+		}
+		env.Stop()
+		env.Shutdown()
+		return fp
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("two identically-seeded sharded runs diverged:\n--- run 1:\n%s\n--- run 2:\n%s", a, b)
+	}
+}

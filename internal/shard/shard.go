@@ -1,0 +1,90 @@
+// Package shard partitions the database tier into independent replicated
+// cells, the step past the paper's single-master ceiling. Each cell is a
+// full cluster.Cluster (one master, N slaves, its own proxy); a versioned
+// ShardMap assigns hash slots of the application's integer key space to
+// cells; and a router in front of the per-cell proxies sends single-key
+// statements to the owning cell, fans multi-key reads out as scatter-gather
+// with merged results, and forwards writes to the owning cell's master.
+//
+// The layout follows the Availability-Zones framing: the global database is
+// the disjoint union of cell-local databases, plus a small set of "global"
+// tables replicated into every cell. Child tables are co-located with their
+// parent by sharding on the parent's key (attendance/event_tags/comments on
+// event_id next to events on id), so parent-child joins stay cell-local.
+//
+// Cells can be added online: Split carves half of the busiest cell's slots
+// into a fresh cell with a copy-then-cutover protocol — dual-write window,
+// binlog catch-up, a drain barrier at cutover — measured and bounded so the
+// observable write-unavailability is the barrier window only.
+package shard
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Keyspace declares how the application's schema maps onto the shard key
+// space. Tables absent from both maps are treated as global (replicated
+// everywhere), which keeps DDL and auxiliary tables working unrouted.
+type Keyspace struct {
+	// Key maps each sharded table (lowercase) to its integer shard-key
+	// column. Child tables co-locate with their parent by naming the
+	// parent's key: sharding attendance on event_id places an event's
+	// attendance rows in the cell that owns the event.
+	Key map[string]string
+	// Global marks small fully-replicated tables (lowercase): reads may be
+	// served by any one cell, writes broadcast to all cells.
+	Global map[string]bool
+}
+
+// keyColumn returns the shard-key column for a sharded table.
+func (ks Keyspace) keyColumn(table string) (string, bool) {
+	col, ok := ks.Key[table]
+	return col, ok
+}
+
+// sharded reports whether the table is partitioned.
+func (ks Keyspace) sharded(table string) bool {
+	_, ok := ks.Key[table]
+	return ok
+}
+
+// shardedTables returns the sharded table names in sorted order — the
+// deterministic iteration order for preload, copy and cleanup.
+func (ks Keyspace) shardedTables() []string {
+	out := make([]string, 0, len(ks.Key))
+	for t := range ks.Key {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Validate rejects a keyspace that declares a table both sharded and
+// global, or a sharded table without a key column.
+func (ks Keyspace) Validate() error {
+	for _, t := range ks.shardedTables() { // sorted: the reported table must not vary run-to-run
+		if ks.Key[t] == "" {
+			return fmt.Errorf("shard: table %q has no key column", t)
+		}
+		if ks.Global[t] {
+			return fmt.Errorf("shard: table %q is both sharded and global", t)
+		}
+	}
+	return nil
+}
+
+// slotOf hashes a shard key onto one of numSlots slots with a splitmix64
+// finalizer: every key of every sharded table uses the same function, so
+// equal key values co-locate across tables (events.id and
+// attendance.event_id land in the same slot), and assignment is stable
+// across map versions — a key changes cells only when its slot is moved.
+func slotOf(key int64, numSlots int) int {
+	x := uint64(key)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return int(x % uint64(numSlots))
+}
