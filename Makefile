@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-smoke bench-kernel shard-smoke determinism-smoke trace-smoke fuzz-seed figures examples vet fmt fmt-check lint clean check
+.PHONY: all build test race bench bench-smoke bench-kernel shard-smoke consist-smoke determinism-smoke trace-smoke fuzz-seed figures examples vet fmt fmt-check lint clean check
 
 all: build vet lint test
 
@@ -12,6 +12,7 @@ check:
 	$(GO) test -race ./...
 	$(MAKE) trace-smoke
 	$(MAKE) shard-smoke
+	$(MAKE) consist-smoke
 	$(MAKE) bench-kernel
 
 # Determinism linters (simtime, simrand, rawgo, maporder, closecheck) plus
@@ -58,6 +59,16 @@ bench-smoke:
 shard-smoke:
 	$(GO) test ./internal/shard -run 'TestSplitOnline|TestSplitChaosKillTarget' -count=1
 	$(GO) run ./cmd/cloudrepl-bench -ablation shard -short -q -json results
+
+# Consistency smoke: the MVCC snapshot-isolation oracle and the tier
+# regression tests (failover-safe RYW tokens, shard×RYW, zero-value
+# staleness bound) at unit scale, then the A-CONSIST tier grid on the short
+# protocol with BENCH_consist.json written into results/.
+consist-smoke:
+	$(GO) test ./internal/sqlengine -run 'TestConcurrentSnapshotAgainstOracle|TestSnapshotIsolationReads' -count=1
+	$(GO) test ./internal/proxy -run 'TestRYWTokenSurvivesFailover|TestStalenessBoundedZeroValueServesSlaves' -count=1
+	$(GO) test ./internal/shard -run 'TestScatterHonorsSessionRYW|TestSessionRYWAcrossSplit' -count=1
+	$(GO) run ./cmd/cloudrepl-bench -ablation consist -short -q -json results
 
 # Kernel-speed smoke: measure the sim kernel (micro workload + one
 # experiment cell), write BENCH_kernel.json into results/, and fail if the

@@ -34,7 +34,7 @@ import (
 func main() {
 	figs := flag.String("fig", "", "comma-separated figures to regenerate (2,3,4,5,6)")
 	rtt := flag.Bool("rtt", false, "measure the half-RTT table (T-RTT)")
-	ablations := flag.String("ablation", "", "comma-separated ablations (sync,lb,var,prio,arch,chaos,elastic,pipeline,shard)")
+	ablations := flag.String("ablation", "", "comma-separated ablations (sync,lb,var,prio,arch,chaos,elastic,pipeline,shard,consist)")
 	determinism := flag.Bool("determinism", false, "run the A-PIPELINE determinism sanitizer: the same seed twice, failing on any byte difference in the result JSON (with -short: corner grid + quick protocol)")
 	determinismInject := flag.Bool("determinism-inject", false, "deliberately salt the determinism check with global math/rand entropy; the check must then fail (self-test of the sanitizer)")
 	all := flag.Bool("all", false, "regenerate every figure, table and ablation")
@@ -69,7 +69,7 @@ func main() {
 		want["rtt"] = true
 	}
 	if *all {
-		for _, k := range []string{"fig2", "fig3", "fig4", "fig5", "fig6", "rtt", "ab-sync", "ab-lb", "ab-var", "ab-prio", "ab-arch", "ab-chaos", "ab-elastic", "ab-pipeline", "ab-shard", "kernel"} {
+		for _, k := range []string{"fig2", "fig3", "fig4", "fig5", "fig6", "rtt", "ab-sync", "ab-lb", "ab-var", "ab-prio", "ab-arch", "ab-chaos", "ab-elastic", "ab-pipeline", "ab-shard", "ab-consist", "kernel"} {
 			want[k] = true
 		}
 	}
@@ -97,6 +97,10 @@ func main() {
 		}
 		banner("determinism sanitizer: sharded tier with a live split twice with one seed, byte-compared JSON")
 		if err := experiment.ShardDeterminism(opts); err != nil {
+			fatal(err)
+		}
+		banner("determinism sanitizer: MVCC session-consistency arm twice with one seed, byte-compared JSON")
+		if err := experiment.ConsistDeterminism(opts); err != nil {
 			fatal(err)
 		}
 		fmt.Println("determinism check passed: both runs produced byte-identical JSON")
@@ -266,6 +270,16 @@ func main() {
 		}
 		fmt.Println(experiment.RenderSharding(r))
 		writeJSON("shard", experiment.ShardingJSON(r))
+	}
+
+	if want["ab-consist"] {
+		banner("ablation: read-consistency tiers (A-CONSIST)")
+		r, err := experiment.AblationConsistency(opts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(experiment.RenderConsistency(r))
+		writeJSON("consist", experiment.ConsistencyJSON(r))
 	}
 
 	if want["ab-elastic"] {

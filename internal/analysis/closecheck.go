@@ -8,10 +8,12 @@ import (
 // mustConsumeMethods name the simulator-resource accessors whose results
 // must not be dropped: a Borrow whose connection is discarded leaks a pool
 // slot until eviction, a Get/TryGet/Peek whose value is discarded silently
-// loses a replication message, and a StartSpan/StartLinked whose span handle
+// loses a replication message, a StartSpan/StartLinked whose span handle
 // is dropped can never be ended — the span stays on the process's open-span
 // stack forever, mis-parenting every later span on that process and counting
-// as an orphan in the trace export.
+// as an orphan in the trace export — and a Pin whose snapshot handle is
+// dropped can never be Closed, so the engine's MVCC garbage collector keeps
+// every row version newer than the pin alive forever.
 var mustConsumeMethods = map[string]bool{
 	"Borrow":      true,
 	"Get":         true,
@@ -19,6 +21,7 @@ var mustConsumeMethods = map[string]bool{
 	"Peek":        true,
 	"StartSpan":   true,
 	"StartLinked": true,
+	"Pin":         true,
 }
 
 // droppedErrorExempt lists error-returning calls whose drop is idiomatic
@@ -67,8 +70,8 @@ func droppedErrorExempt(pass *Pass, call *ast.CallExpr) bool {
 var CloseCheck = &Analyzer{
 	Name: "closecheck",
 	Doc: "flag dropped error results and discarded sim-resource handles " +
-		"(Borrow/Get/TryGet/Peek, StartSpan/StartLinked) that would silently " +
-		"leak capacity or wedge the tracer",
+		"(Borrow/Get/TryGet/Peek, StartSpan/StartLinked, Pin) that would silently " +
+		"leak capacity, wedge the tracer, or pin MVCC version chains",
 	Run: runCloseCheck,
 }
 

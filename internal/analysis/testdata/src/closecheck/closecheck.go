@@ -26,6 +26,14 @@ type span struct{}
 
 func (*span) End() {}
 
+type snapshotHandle struct{}
+
+func (*snapshotHandle) Close() {}
+
+type engine struct{}
+
+func (*engine) Pin() *snapshotHandle { return nil }
+
 type tracer struct{}
 
 func (*tracer) StartSpan(stage, name string) *span            { return nil }
@@ -33,7 +41,7 @@ func (*tracer) StartLinked(stage, name string, ref int) *span { return nil }
 
 func exec() error { return errors.New("boom") }
 
-func bad(q queue, pl pool, tr *tracer) {
+func bad(q queue, pl pool, tr *tracer, e *engine) {
 	exec()                          // want `result of exec dropped: the error is silently ignored`
 	q.Get()                         // want `result of q\.Get dropped: the returned resource/message is lost`
 	q.TryGet()                      // want `result of q\.TryGet dropped`
@@ -41,9 +49,10 @@ func bad(q queue, pl pool, tr *tracer) {
 	pl.Borrow()                     // want `result of pl\.Borrow dropped: the error is silently ignored`
 	tr.StartSpan("client", "exec")  // want `result of tr\.StartSpan dropped`
 	tr.StartLinked("apply", "a", 1) // want `result of tr\.StartLinked dropped`
+	e.Pin()                         // want `result of e\.Pin dropped`
 }
 
-func ok(q queue, pl pool, tr *tracer) {
+func ok(q queue, pl pool, tr *tracer, e *engine) {
 	_, _ = q.Get() // explicit discard is visible and greppable
 	_ = exec()
 	if err := exec(); err != nil {
@@ -56,6 +65,8 @@ func ok(q queue, pl pool, tr *tracer) {
 	sp := tr.StartSpan("client", "exec")
 	sp.End()
 	_ = tr.StartLinked("apply", "a", 1) // explicit discard allowed
+	h := e.Pin()
+	h.Close()
 	defer func() { _ = exec() }()
 	fmt.Println("printer errors are exempt")
 	var b strings.Builder

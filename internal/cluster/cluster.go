@@ -185,6 +185,10 @@ func (c *Cluster) Failover() (*repl.Master, error) {
 	// old sequence numbering remains valid for re-attachment.
 	best.Srv.GroupCommitWindow = c.cfg.Pipeline.GroupCommitWindow
 	newMaster := repl.NewMaster(c.env, best.Srv, c.cloud.Network(), c.cfg.Mode)
+	// New reign, new epoch: session-consistency tokens minted under the old
+	// master carry its epoch and cannot be compared against the promoted
+	// master's sequence numbering (writes past the promoted log are lost).
+	newMaster.Epoch = c.master.Epoch + 1
 	newMaster.Pipeline = c.cfg.Pipeline
 	newMaster.SetTracer(c.tracer)
 	c.master = newMaster
@@ -253,8 +257,13 @@ func (c *Cluster) snapshotProvision(spec NodeSpec) (*server.DBServer, uint64, er
 	srv := server.New(c.env, name, inst, c.cfg.Cost)
 	srv.PriorityApply = c.cfg.PriorityApply
 	srv.Tracer = c.tracer
+	// Pin the master's commit version at the recorded binlog position, then
+	// materialize: a non-quiescent versioned read — concurrent writers keep
+	// committing, chain GC holds the pinned images until Close.
 	pos := c.master.Srv.Log.LastSeq()
-	if err := srv.Eng.Restore(c.master.Srv.Eng.Snapshot()); err != nil {
+	h := c.master.Srv.Eng.Pin()
+	defer h.Close()
+	if err := srv.Eng.Restore(h.Materialize()); err != nil {
 		return nil, 0, fmt.Errorf("cluster: provision %s: %w", name, err)
 	}
 	return srv, pos, nil

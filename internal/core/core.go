@@ -97,6 +97,8 @@ func openConfig(clu *cluster.Cluster, cfg config) *DB {
 	}
 	px := proxy.New(clu.Env(), clu.Cloud().Network(), clu.Master(), cfg.clientPlace, cfg.balancer)
 	px.ReadYourWrites = cfg.readYourWrites
+	px.Consistency = cfg.consistency
+	px.MaxStaleEvents = cfg.maxStaleEvents
 	px.Retry = cfg.retry
 	if cfg.retry.FailoverOnMasterDown {
 		px.OnMasterFailure = func(p *sim.Proc) (*repl.Master, error) {
@@ -150,6 +152,8 @@ func OpenSharded(env *sim.Env, cl *cloud.Cloud, cellCfg cluster.Config, opts ...
 		ClientPlace:        cfg.clientPlace,
 		Balancer:           cfg.balancerFactory,
 		ReadYourWrites:     cfg.readYourWrites,
+		Consistency:        cfg.consistency,
+		MaxStaleEvents:     cfg.maxStaleEvents,
 		Retry:              cfg.retry,
 	})
 	if err != nil {
@@ -587,6 +591,14 @@ func sumProxyStats(a, b proxy.Stats) proxy.Stats {
 	a.Failovers += b.Failovers
 	a.DegradedCommits += b.DegradedCommits
 	a.WrongShard += b.WrongShard
+	a.EventualReads += b.EventualReads
+	a.BoundedReads += b.BoundedReads
+	a.SessionReads += b.SessionReads
+	a.StrongReads += b.StrongReads
+	a.EpochFallbacks += b.EpochFallbacks
+	a.StaleEventsObserved += b.StaleEventsObserved
+	a.RYWChecked += b.RYWChecked
+	a.RYWCompliant += b.RYWCompliant
 	return a
 }
 
@@ -600,13 +612,43 @@ func (db *DB) Metrics() map[string]float64 {
 		db.sc.PublishMetrics(db.reg)
 		db.pool.PublishMetrics(db.reg)
 		db.reg.Gauge("repl.max_events_behind").Set(float64(db.Staleness().MaxEvents))
+		db.publishEngineGC()
 		return db.reg.Snapshot()
 	}
 	db.px.PublishMetrics(db.reg)
 	db.pool.PublishMetrics(db.reg)
 	db.clu.Master().PublishMetrics(db.reg)
 	db.reg.Gauge("repl.max_events_behind").Set(float64(db.Staleness().MaxEvents))
+	db.publishEngineGC()
 	return db.reg.Snapshot()
+}
+
+// publishEngineGC sums MVCC version-chain GC counters over every engine in
+// the deployment (masters and slaves, all cells) into "sqlengine.gc.*" —
+// the evidence that chain memory is being reclaimed, not accreted.
+func (db *DB) publishEngineGC() {
+	if db.reg == nil {
+		return
+	}
+	var runs, versions, rows uint64
+	add := func(m *repl.Master) {
+		r, v, w := m.Srv.Eng.GCStats()
+		runs, versions, rows = runs+r, versions+v, rows+w
+		for _, sl := range m.Slaves() {
+			r, v, w := sl.Srv.Eng.GCStats()
+			runs, versions, rows = runs+r, versions+v, rows+w
+		}
+	}
+	if db.sc == nil {
+		add(db.clu.Master())
+	} else {
+		for _, cell := range db.sc.Cells() {
+			add(cell.Clu.Master())
+		}
+	}
+	db.reg.Counter("sqlengine.gc.runs").Set(float64(runs))
+	db.reg.Counter("sqlengine.gc.versions_pruned").Set(float64(versions))
+	db.reg.Counter("sqlengine.gc.rows_pruned").Set(float64(rows))
 }
 
 // Close shuts the connection pool; the cluster keeps running (databases

@@ -7,6 +7,7 @@ import (
 	"cloudrepl/internal/cloud"
 	"cloudrepl/internal/cluster"
 	"cloudrepl/internal/pool"
+	"cloudrepl/internal/proxy"
 	"cloudrepl/internal/repl"
 	"cloudrepl/internal/server"
 	"cloudrepl/internal/sim"
@@ -173,7 +174,9 @@ func TestFailoverRepointsProxy(t *testing.T) {
 }
 
 func TestStalenessBoundedOptionIntegration(t *testing.T) {
-	env, db := newDB(t, 6, 1, WithStalenessBound(0))
+	// Strict: a literally-zero bound. WithStalenessBound(0) now means "the
+	// default bound", under which a freshly-frozen slave still qualifies.
+	env, db := newDB(t, 6, 1, WithBalancer(&proxy.StalenessBounded{Strict: true}))
 	db.Cluster().Slaves()[0].Stop()
 	env.Go("app", func(p *sim.Proc) {
 		db.Exec(p, "INSERT INTO t (id, v) VALUES (1, 'x')")

@@ -20,6 +20,8 @@ type config struct {
 	clientPlace    cloud.Placement
 	balancer       proxy.Balancer
 	readYourWrites bool
+	consistency    proxy.Consistency
+	maxStaleEvents uint64
 	retry          proxy.RetryPolicy
 	pool           pool.Config
 	tracer         *obs.Tracer
@@ -60,8 +62,31 @@ func WithReadYourWrites() Option {
 // WithStalenessBound routes reads only to slaves within maxEvents binlog
 // events of the master, falling back to the master otherwise. It is shorthand
 // for WithBalancer(&proxy.StalenessBounded{MaxEventsBehind: maxEvents}).
+// Passing 0 applies proxy.DefaultMaxEventsBehind; for literally-zero
+// staleness use WithConsistency(proxy.Strong) or a Strict balancer.
 func WithStalenessBound(maxEvents uint64) Option {
 	return func(c *config) { c.balancer = &proxy.StalenessBounded{MaxEventsBehind: maxEvents} }
+}
+
+// WithConsistency selects the read-consistency tier every connection gets:
+// proxy.Eventual (any slave, the default), proxy.Bounded (slaves within a
+// staleness bound, see WithMaxStaleEvents), proxy.Session (read-your-writes
+// via epoch-aware tokens), or proxy.Strong (master-only reads). The tier
+// composes with the balancer: it filters which backends qualify, the
+// balancer picks among them. In sharded mode the tier applies per cell, with
+// session tokens tracked per cell.
+func WithConsistency(tier proxy.Consistency) Option {
+	return func(c *config) {
+		c.consistency = tier
+		c.readYourWrites = tier == proxy.Session
+	}
+}
+
+// WithMaxStaleEvents sets the Bounded tier's staleness bound in binlog
+// events (0 = proxy.DefaultMaxEventsBehind). Only meaningful with
+// WithConsistency(proxy.Bounded).
+func WithMaxStaleEvents(n uint64) Option {
+	return func(c *config) { c.maxStaleEvents = n }
 }
 
 // WithRetryPolicy configures client-side robustness (retry with backoff,

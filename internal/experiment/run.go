@@ -75,6 +75,12 @@ type RunSpec struct {
 	// Balancer constructs the read balancer (nil = round-robin, the
 	// Connector/J default used by the paper).
 	Balancer func() proxy.Balancer
+	// Consistency selects the proxy read tier (A-CONSIST sweeps this);
+	// the zero value is Eventual, the paper's configuration.
+	Consistency proxy.Consistency
+	// MaxStaleEvents bounds the Bounded tier
+	// (0 = proxy.DefaultMaxEventsBehind).
+	MaxStaleEvents uint64
 	// Phases overrides the 10/20/5-minute protocol when non-zero.
 	RampUp, Steady, RampDown time.Duration
 	// HeartbeatInterval defaults to 1 s.
@@ -260,7 +266,11 @@ func Run(spec RunSpec) (RunResult, error) {
 		core.WithDatabase(cloudstone.DatabaseName),
 		core.WithClientPlace(MasterPlacement),
 		core.WithBalancer(balancer),
+		core.WithConsistency(spec.Consistency),
 		core.WithPool(pool.Config{MaxActive: spec.Users + 8, MaxIdle: spec.Users + 8}),
+	}
+	if spec.MaxStaleEvents > 0 {
+		coreOpts = append(coreOpts, core.WithMaxStaleEvents(spec.MaxStaleEvents))
 	}
 	if spec.Retry != nil {
 		coreOpts = append(coreOpts, core.WithRetryPolicy(*spec.Retry))

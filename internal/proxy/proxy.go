@@ -146,21 +146,44 @@ func pickTie(ctx *PickContext, ties []*repl.Slave) *repl.Slave {
 // Name implements Balancer.
 func (LeastLag) Name() string { return "least-lag" }
 
+// DefaultMaxEventsBehind is the staleness bound applied when a
+// StalenessBounded balancer (or a Bounded-tier proxy) leaves its bound
+// unset: roughly the backlog a healthy zone-local slave clears within a
+// heartbeat interval, loose enough to keep reads off the master.
+const DefaultMaxEventsBehind = 64
+
 // StalenessBounded serves reads only from slaves within MaxEventsBehind of
 // the master, round-robin among them; when none qualify the read falls back
 // to the master — bounding the client-visible staleness window at the cost
 // of master load. This is the "smart load balancer" the paper's §IV-B
 // suggests for geo-replication.
 type StalenessBounded struct {
+	// MaxEventsBehind is the staleness bound in binlog events. Zero means
+	// "unset" and applies DefaultMaxEventsBehind: the zero value used to
+	// mean literally zero events behind, which under write load silently
+	// disqualified every slave and degenerated to master-only reads. Set
+	// Strict to get the literal-zero behaviour.
 	MaxEventsBehind uint64
-	next            int
+	// Strict makes a zero MaxEventsBehind mean exactly that — only fully
+	// caught-up slaves qualify — instead of the default bound.
+	Strict bool
+	next   int
+}
+
+// bound resolves the effective staleness bound.
+func (b *StalenessBounded) bound() uint64 {
+	if b.MaxEventsBehind == 0 && !b.Strict {
+		return DefaultMaxEventsBehind
+	}
+	return b.MaxEventsBehind
 }
 
 // Pick implements Balancer.
 func (b *StalenessBounded) Pick(ctx *PickContext) *repl.Slave {
+	max := b.bound()
 	var fresh []*repl.Slave
 	for _, sl := range ctx.Slaves {
-		if sl.EventsBehindMaster() <= b.MaxEventsBehind {
+		if sl.EventsBehindMaster() <= max {
 			fresh = append(fresh, sl)
 		}
 	}
@@ -190,6 +213,21 @@ type Stats struct {
 	Failovers         uint64 // master promotions triggered by this proxy
 	DegradedCommits   uint64 // semi-sync commits that timed out to async
 	WrongShard        uint64 // statements rejected by the ownership check
+
+	// Consistency-tier counters: reads served under each tier, epoch
+	// fallbacks (session reads forced to the master because their token
+	// predates the current master's reign), total binlog events the serving
+	// backends were observed behind, and read-your-writes compliance
+	// (checked = reads with a comparable token, compliant = the backend had
+	// applied the connection's newest write).
+	EventualReads       uint64
+	BoundedReads        uint64
+	SessionReads        uint64
+	StrongReads         uint64
+	EpochFallbacks      uint64
+	StaleEventsObserved uint64
+	RYWChecked          uint64
+	RYWCompliant        uint64
 }
 
 // RetryPolicy configures client-side robustness: bounded retries with
@@ -287,10 +325,19 @@ type Proxy struct {
 	balancer Balancer
 	client   cloud.Placement
 
+	// Consistency selects the read tier (see the Consistency type); the
+	// zero value is Eventual. Set via core.WithConsistency.
+	Consistency Consistency
+
+	// MaxStaleEvents is the Bounded tier's staleness bound in binlog
+	// events; zero applies DefaultMaxEventsBehind.
+	MaxStaleEvents uint64
+
 	// ReadYourWrites enables session consistency: after a connection
 	// writes, its reads are only served by slaves that have applied that
 	// write (falling back to the master when none has) — so a user always
-	// sees their own updates without bounding global staleness.
+	// sees their own updates without bounding global staleness. Equivalent
+	// to Consistency = Session; kept for compatibility.
 	ReadYourWrites bool
 
 	// Retry configures client-side robustness; the zero value preserves
@@ -462,10 +509,20 @@ type Conn struct {
 	db   string
 	sess map[*server.DBServer]*sqlengine.Session
 
-	// lastWriteSeq is the master binlog position after this connection's
-	// most recent write; the read-your-writes watermark.
-	lastWriteSeq uint64
+	// token is the read-your-writes watermark after this connection's most
+	// recent write: (master epoch, binlog seq). The epoch makes the
+	// watermark failover-safe — sequences from a previous master are never
+	// compared against the promoted master's numbering.
+	token Token
 }
+
+// Token returns the connection's session-consistency watermark. The shard
+// router reads it to thread tokens across cell boundaries.
+func (c *Conn) Token() Token { return c.token }
+
+// SetToken overrides the watermark; it is merged via Token.Max so a
+// restored token can only tighten, never relax, the session guarantee.
+func (c *Conn) SetToken(t Token) { c.token = c.token.Max(t) }
 
 // Connect opens a connection with the given default database.
 func (px *Proxy) Connect(db string) *Conn {
@@ -554,6 +611,14 @@ func (px *Proxy) PublishMetrics(reg *obs.Registry) {
 	reg.Counter("proxy.failovers").Set(float64(s.Failovers))
 	reg.Counter("proxy.degraded_commits").Set(float64(s.DegradedCommits))
 	reg.Counter("proxy.wrong_shard").Set(float64(s.WrongShard))
+	reg.Counter("proxy.consistency.eventual.reads").Set(float64(s.EventualReads))
+	reg.Counter("proxy.consistency.bounded.reads").Set(float64(s.BoundedReads))
+	reg.Counter("proxy.consistency.session.reads").Set(float64(s.SessionReads))
+	reg.Counter("proxy.consistency.strong.reads").Set(float64(s.StrongReads))
+	reg.Counter("proxy.consistency.epoch_fallbacks").Set(float64(s.EpochFallbacks))
+	reg.Counter("proxy.consistency.stale_events_observed").Set(float64(s.StaleEventsObserved))
+	reg.Counter("proxy.consistency.ryw_checked").Set(float64(s.RYWChecked))
+	reg.Counter("proxy.consistency.ryw_compliant").Set(float64(s.RYWCompliant))
 }
 
 // retryable reports whether an error may clear on a different backend or a
@@ -571,24 +636,56 @@ func retryable(err error) bool {
 func (c *Conn) execOnce(p *sim.Proc, isRead bool, sql string, args []sqlengine.Value, start sim.Time) (*ExecResult, error) {
 	px := c.px
 	if isRead {
-		candidates := px.eligibleSlaves(p)
-		if px.ReadYourWrites && c.lastWriteSeq > 0 {
+		// The consistency tier filters which backends qualify; the balancer
+		// then picks among the qualifiers. An empty candidate set falls back
+		// to the master below.
+		tier := px.tier()
+		var candidates []*repl.Slave
+		switch tier {
+		case Strong:
+			// Master only; never consult the slave set.
+		case Session:
+			candidates = px.eligibleSlaves(p)
+			if !c.token.IsZero() {
+				if c.token.Epoch != px.master.Epoch {
+					// Token minted under a previous master: its sequence is
+					// not comparable here. Serve from the master and re-mint
+					// the token on the new timeline (below).
+					candidates = nil
+				} else {
+					fresh := candidates[:0:0]
+					for _, sl := range candidates {
+						if sl.AppliedSeq() >= c.token.Seq {
+							fresh = append(fresh, sl)
+						}
+					}
+					candidates = fresh
+				}
+			}
+		case Bounded:
+			bound := px.staleBound()
+			candidates = px.eligibleSlaves(p)
 			fresh := candidates[:0:0]
 			for _, sl := range candidates {
-				if sl.AppliedSeq() >= c.lastWriteSeq {
+				if sl.EventsBehindMaster() <= bound {
 					fresh = append(fresh, sl)
 				}
 			}
-			candidates = fresh // empty → master fallback below
+			candidates = fresh
+		default: // Eventual
+			candidates = px.eligibleSlaves(p)
 		}
-		sl := px.balancer.Pick(&PickContext{
-			Master:   px.master,
-			Slaves:   candidates,
-			Inflight: func(s *repl.Slave) int { return px.inflight[s] },
-			Rng:      p.Rand(),
-		})
+		var sl *repl.Slave
+		if tier != Strong {
+			sl = px.balancer.Pick(&PickContext{
+				Master:   px.master,
+				Slaves:   candidates,
+				Inflight: func(s *repl.Slave) int { return px.inflight[s] },
+				Rng:      p.Rand(),
+			})
+		}
 		if sl == nil {
-			// Master fallback (no slaves, or none fresh enough).
+			// Master fallback (strong tier, no slaves, or none fresh enough).
 			if !px.masterUsable(p) {
 				return nil, ErrNoBackend
 			}
@@ -596,6 +693,17 @@ func (c *Conn) execOnce(p *sim.Proc, isRead bool, sql string, args []sqlengine.V
 			res, err := c.execOn(p, nil, sql, args)
 			if err != nil {
 				return nil, err
+			}
+			px.noteRead(tier, c, nil)
+			if !c.token.IsZero() && c.token.Epoch != px.master.Epoch {
+				// The read crossed a master epoch boundary — whether the
+				// stale token emptied the candidate set up front or the
+				// fallback itself triggered the failover. The master has
+				// now shown this session the new timeline's state; adopt it
+				// so later reads stay monotonic without pinning the session
+				// to the master forever.
+				px.stats.EpochFallbacks++
+				c.token = Token{Epoch: px.master.Epoch, Seq: px.master.Srv.Log.LastSeq()}
 			}
 			return &ExecResult{Result: res, OnMaster: true, Latency: p.Now() - start}, nil
 		}
@@ -608,6 +716,7 @@ func (c *Conn) execOnce(p *sim.Proc, isRead bool, sql string, args []sqlengine.V
 		}
 		px.readsServed[sl]++
 		px.noteSlaveOK(sl)
+		px.noteRead(tier, c, sl)
 		return &ExecResult{Result: res, Latency: p.Now() - start}, nil
 	}
 
@@ -620,8 +729,8 @@ func (c *Conn) execOnce(p *sim.Proc, isRead bool, sql string, args []sqlengine.V
 	}
 	degraded := false
 	if res.Stats.Class == sqlengine.ClassWrite {
-		c.lastWriteSeq = px.master.Srv.Log.LastSeq()
-		degraded = !px.master.WaitCommitted(p, c.lastWriteSeq)
+		c.token = Token{Epoch: px.master.Epoch, Seq: px.master.Srv.Log.LastSeq()}
+		degraded = !px.master.WaitCommitted(p, c.token.Seq)
 		if degraded {
 			px.stats.DegradedCommits++
 		}

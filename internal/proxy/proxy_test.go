@@ -219,7 +219,7 @@ func TestLeastLagPrefersFreshSlave(t *testing.T) {
 }
 
 func TestStalenessBoundedFallsBackToMaster(t *testing.T) {
-	env, px := topo(t, 7, 1, &StalenessBounded{MaxEventsBehind: 0})
+	env, px := topo(t, 7, 1, &StalenessBounded{Strict: true})
 	slaves := px.Master().Slaves()
 	slaves[0].Stop() // slave will lag forever
 	conn := px.Connect("app")
@@ -373,7 +373,7 @@ func TestMonotonicReadViolations(t *testing.T) {
 	if rr == 0 {
 		t.Fatal("round-robin over unevenly lagged slaves showed no monotonic-read violations")
 	}
-	sb := run(&StalenessBounded{MaxEventsBehind: 0})
+	sb := run(&StalenessBounded{Strict: true})
 	if sb != 0 {
 		t.Fatalf("staleness-bounded balancer still produced %d violations", sb)
 	}
@@ -479,6 +479,140 @@ func TestFreshConnectionUnaffectedByRYW(t *testing.T) {
 		}
 		if res.OnMaster {
 			t.Error("non-writing connection was dragged to the master")
+		}
+	})
+	env.RunUntil(time.Minute)
+	env.Stop()
+	env.Shutdown()
+}
+
+// TestRYWTokenSurvivesFailover kills the master between a connection's
+// write and its read. The promoted master runs under a new epoch, so the
+// old watermark — a sequence minted on the dead master's timeline — must
+// not be compared against slaves that merely reached the same *number* on
+// the new timeline: the read goes to the master, and the token is re-minted
+// there. The scalar watermark this replaces served such reads from a slave.
+func TestRYWTokenSurvivesFailover(t *testing.T) {
+	env, px := topo(t, 21, 2, &RoundRobin{})
+	px.Consistency = Session
+	px.Retry.FailoverOnMasterDown = true
+	px.OnMasterFailure = func(p *sim.Proc) (*repl.Master, error) {
+		// Promote the most-applied live slave under epoch+1 and re-attach
+		// the rest at their applied positions — cluster.Failover's flow.
+		old := px.Master()
+		var best *repl.Slave
+		for _, sl := range old.Slaves() {
+			if sl.Srv.Up() && (best == nil || sl.AppliedSeq() > best.AppliedSeq()) {
+				best = sl
+			}
+		}
+		var rest []*repl.Slave
+		for _, sl := range old.Slaves() {
+			if sl != best {
+				rest = append(rest, sl)
+			}
+			old.Detach(sl)
+		}
+		nm := repl.NewMaster(env, best.Srv, old.Net, repl.Async)
+		nm.Epoch = old.Epoch + 1
+		for _, o := range rest {
+			nm.Attach(repl.NewSlave(env, o.Srv), o.AppliedSeq())
+		}
+		return nm, nil
+	}
+	// Starve both slaves' appliers so the connection's writes are still
+	// unapplied anywhere when the master dies.
+	for _, sl := range px.Master().Slaves() {
+		srv := sl.Srv
+		for h := 0; h < 2; h++ {
+			env.Go("hog", func(p *sim.Proc) {
+				for p.Now() < 5*time.Second {
+					srv.Inst.Work(p, 50*time.Millisecond)
+				}
+			})
+		}
+	}
+	conn := px.Connect("app")
+	env.Go("client", func(p *sim.Proc) {
+		for i := 1; i <= 5; i++ {
+			if _, err := conn.Exec(p, "INSERT INTO t (id, v) VALUES (?, 'x')", sqlengine.NewInt(int64(i))); err != nil {
+				t.Errorf("write %d: %v", i, err)
+				return
+			}
+		}
+		px.Master().Srv.Inst.Terminate()
+		// No slave holds the watermark, so the read falls back to the
+		// master, finds it dead, and promotes — landing on a new epoch the
+		// token was not minted under.
+		res, err := conn.Exec(p, "SELECT COUNT(*) FROM t")
+		if err != nil {
+			t.Errorf("post-failover read: %v", err)
+			return
+		}
+		if !res.OnMaster {
+			t.Error("post-failover read served by a slave on an old-epoch token")
+		}
+		if got := px.Stats().Failovers; got != 1 {
+			t.Errorf("Failovers = %d, want 1", got)
+		}
+		if got := px.Stats().EpochFallbacks; got != 1 {
+			t.Errorf("EpochFallbacks = %d, want 1", got)
+		}
+		// The fallback re-minted the token under the new epoch: once the
+		// surviving slave catches up, reads are slave-eligible again rather
+		// than pinned to the master.
+		p.Sleep(10 * time.Second)
+		res, err = conn.Exec(p, "SELECT COUNT(*) FROM t")
+		if err != nil {
+			t.Errorf("second read: %v", err)
+			return
+		}
+		if res.OnMaster {
+			t.Error("re-minted token still pins reads to the master")
+		}
+		if got := px.Stats().EpochFallbacks; got != 1 {
+			t.Errorf("EpochFallbacks after re-mint = %d, want 1", got)
+		}
+	})
+	env.RunUntil(time.Minute)
+	env.Stop()
+	env.Shutdown()
+}
+
+// TestStalenessBoundedZeroValueServesSlaves: the zero value used to mean
+// "zero events behind", which under any write load disqualified every slave
+// and silently degenerated to master-only reads. Unset now means the
+// default bound: a mildly lagging slave keeps serving.
+func TestStalenessBoundedZeroValueServesSlaves(t *testing.T) {
+	env, px := topo(t, 33, 1, &StalenessBounded{})
+	slow := px.Master().Slaves()[0].Srv
+	for h := 0; h < 2; h++ {
+		env.Go("hog", func(p *sim.Proc) {
+			for p.Now() < 30*time.Second {
+				slow.Inst.Work(p, 50*time.Millisecond)
+			}
+		})
+	}
+	conn := px.Connect("app")
+	env.Go("client", func(p *sim.Proc) {
+		for i := 1; i <= 10; i++ {
+			if _, err := conn.Exec(p, "INSERT INTO t (id, v) VALUES (?, 'x')", sqlengine.NewInt(int64(i))); err != nil {
+				t.Errorf("write %d: %v", i, err)
+				return
+			}
+		}
+		// The hogged slave is a few events behind — within the default
+		// bound, far from caught up.
+		if got := px.Master().Slaves()[0].EventsBehindMaster(); got == 0 {
+			t.Fatal("test setup: slave not lagging")
+		}
+		res, err := conn.Exec(p, "SELECT COUNT(*) FROM t")
+		if err != nil {
+			t.Errorf("read: %v", err)
+			return
+		}
+		if res.OnMaster {
+			t.Error("zero-value StalenessBounded degenerated to a master read")
 		}
 	})
 	env.RunUntil(time.Minute)

@@ -154,6 +154,9 @@ func (m *Master) startParallelApplier(sl *Slave, ackPipe func(ack), workers int)
 					asp.SetAttr("error", "apply")
 				}
 				asp.End(p)
+				// AdvanceVersion is a monotone max, so out-of-order worker
+				// completion still converges on the master's commit order.
+				sl.Srv.Eng.AdvanceVersion(it.e.Seq)
 				st.complete(it.e, p.Now())
 				if m.Mode == Sync {
 					// Ack the low-water mark: it is what "applied" means

@@ -73,6 +73,10 @@ type Master struct {
 	Srv  *server.DBServer
 	Net  *cloud.Network
 	Mode Mode
+	// Epoch identifies this master's reign. Failover promotes a slave under
+	// epoch+1, so session-consistency tokens minted as (epoch, seq) pairs
+	// are never compared against a different master's sequence numbering.
+	Epoch uint64
 	// SemiSyncTimeout bounds the wait for a receipt acknowledgement before
 	// degrading to asynchronous (MySQL's rpl_semi_sync behaviour). Zero
 	// means wait forever.
@@ -423,6 +427,10 @@ func (m *Master) Attach(sl *Slave, startPos uint64) {
 				asp.SetAttr("error", "apply")
 			}
 			asp.End(p)
+			// Replica MVCC stamps track master commit order: every applied
+			// binlog sequence raises the engine's commit version, so
+			// snapshots taken from a replica carry comparable versions.
+			sl.Srv.Eng.AdvanceVersion(e.Seq)
 			sl.appliedSeq = e.Seq
 			sl.appliedTs = e.TimestampMicros
 			sl.appliedAt = p.Now()

@@ -46,6 +46,15 @@ type Config struct {
 	// ReadYourWrites and Retry configure every cell proxy.
 	ReadYourWrites bool
 	Retry          proxy.RetryPolicy
+	// Consistency is the read tier every cell proxy enforces. Session
+	// tokens are tracked per cell: each routed connection holds one proxy
+	// connection (and thus one token) per cell, and dual-writes during a
+	// split stamp the target cell's token so read-your-writes survives
+	// the ownership flip.
+	Consistency proxy.Consistency
+	// MaxStaleEvents bounds the Bounded tier per cell
+	// (0 = proxy.DefaultMaxEventsBehind).
+	MaxStaleEvents uint64
 }
 
 // Cell is one replicated partition: a full master/slaves cluster behind its
@@ -148,6 +157,8 @@ func (s *Cluster) addCell(owns func(table string, key int64) bool) (*Cell, error
 	}
 	px := proxy.New(s.env, s.cloud.Network(), clu.Master(), s.cfg.ClientPlace, s.cfg.Balancer())
 	px.ReadYourWrites = s.cfg.ReadYourWrites
+	px.Consistency = s.cfg.Consistency
+	px.MaxStaleEvents = s.cfg.MaxStaleEvents
 	px.Retry = s.cfg.Retry
 	if s.cfg.Retry.FailoverOnMasterDown {
 		px.OnMasterFailure = func(p *sim.Proc) (*repl.Master, error) {
@@ -453,6 +464,13 @@ func (c *Conn) dualWrite(p *sim.Proc, mig *migration, ri *routeInfo, keys []int6
 		mig.fail(fmt.Errorf("shard: dual-write to cell %d: %w", mig.dst, err))
 		return
 	}
+	// The dual write bypassed the target cell's proxy, so no session token
+	// was minted there. Stamp one by hand: the moment the map flips, this
+	// connection's reads on the moved keys route to the target cell, and a
+	// read-your-writes read must not be served by a target slave that has
+	// not applied the mirrored write yet.
+	dstM := c.sc.cells[mig.dst].Clu.Master()
+	c.cellConn(mig.dst).SetToken(proxy.Token{Epoch: dstM.Epoch, Seq: dstM.Srv.Log.LastSeq()})
 	mig.recordKeys(ri.table, keys)
 	mig.dualWrites++
 	c.sc.stats.DualWrites++

@@ -9,6 +9,7 @@ import (
 	"cloudrepl/internal/chaos"
 	"cloudrepl/internal/cloud"
 	"cloudrepl/internal/cluster"
+	"cloudrepl/internal/proxy"
 	"cloudrepl/internal/repl"
 	"cloudrepl/internal/server"
 	"cloudrepl/internal/sim"
@@ -429,6 +430,179 @@ func TestStaleSnapshotRetriesAfterSplit(t *testing.T) {
 		}
 	})
 	env.RunUntil(10 * time.Minute)
+	env.Stop()
+	env.Shutdown()
+}
+
+// newSessionShard builds a sharded cluster whose cell proxies enforce the
+// Session (read-your-writes) tier.
+func newSessionShard(t *testing.T, seed int64, cells, slots, rows int) (*sim.Env, *Cluster) {
+	t.Helper()
+	env := sim.NewEnv(seed)
+	cl := cloud.New(env, cloud.Config{})
+	place := cloud.Placement{Region: cloud.USWest1, Zone: "a"}
+	sc, err := New(env, cl, Config{
+		Cells: cells,
+		Slots: slots,
+		Keyspace: Keyspace{
+			Key:    map[string]string{"kv": "id"},
+			Global: map[string]bool{"g": true},
+		},
+		Database: "app",
+		Cell: cluster.Config{
+			Mode:   repl.Async,
+			Cost:   server.DefaultCostModel(),
+			Master: cluster.NodeSpec{Place: place},
+			Slaves: []cluster.NodeSpec{{Place: place}},
+		},
+		PartitionedPreload: kvPreload(rows),
+		ClientPlace:        place,
+		Consistency:        proxy.Session,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env, sc
+}
+
+// hogSlave pins a slave's CPU with competing work until deadline so its
+// applier cannot keep up.
+func hogSlave(env *sim.Env, sl *repl.Slave, deadline time.Duration) {
+	srv := sl.Srv
+	for h := 0; h < 2; h++ {
+		env.Go("hog", func(p *sim.Proc) {
+			for p.Now() < sim.Time(deadline) {
+				srv.Inst.Work(p, 50*time.Millisecond)
+			}
+		})
+	}
+}
+
+// TestScatterHonorsSessionRYW: a cross-shard scatter read issued right after
+// a write used to be able to miss the session's own row — the leg on the
+// written cell could be served by a slave that had not applied the write
+// yet. With the Session tier the per-cell token minted by the write must
+// steer that leg to a caught-up backend (master fallback here, since the
+// only slave is starved).
+func TestScatterHonorsSessionRYW(t *testing.T) {
+	const rows = 60
+	env, sc := newSessionShard(t, 11, 3, 12, rows)
+	for _, cell := range sc.Cells() {
+		hogSlave(env, cell.Clu.Master().Slaves()[0], 30*time.Second)
+	}
+	env.Go("app", func(p *sim.Proc) {
+		conn := sc.Connect("app")
+		id := int64(rows + 1)
+		if _, err := conn.Exec(p, "INSERT INTO kv (id, v) VALUES (?, 'mine')", sqlengine.NewInt(id)); err != nil {
+			t.Errorf("insert: %v", err)
+			return
+		}
+		// The written cell's slave must still be behind, or the scatter leg
+		// would see the row regardless of the token.
+		owner := sc.Map().Owner(id)
+		if sc.Cell(owner).Clu.Master().Slaves()[0].EventsBehindMaster() == 0 {
+			t.Error("test setup: owning cell's slave is not lagging")
+		}
+		set, err := conn.Query(p, "SELECT id FROM kv ORDER BY id")
+		if err != nil {
+			t.Errorf("scatter: %v", err)
+			return
+		}
+		found := false
+		for _, r := range set.Rows {
+			if r[0].Int() == id {
+				found = true
+			}
+		}
+		if !found {
+			t.Error("scatter read right after the write missed the session's own row")
+		}
+	})
+	env.RunUntil(time.Minute)
+	env.Stop()
+	env.Shutdown()
+}
+
+// TestSessionRYWAcrossSplit: writes mirrored by the split's dual-write
+// window bypass the target cell's proxy, so no session token used to be
+// minted there — after the map flipped, a read-your-writes read of a moved
+// key could be served by a target slave that had never applied the
+// mirrored write. The router now stamps the target cell's token at each
+// dual write; with the target's only slave starved throughout, every
+// post-flip read of a dual-written key must still find the row.
+func TestSessionRYWAcrossSplit(t *testing.T) {
+	const rows = 150
+	env, sc := newSessionShard(t, 12, 1, 16, rows)
+	// Starve the split target's slave from the moment the target cell
+	// exists: it holds none of the mirrored writes when the map flips.
+	env.Go("hog-watch", func(p *sim.Proc) {
+		for sc.NumCells() < 2 {
+			p.Sleep(5 * time.Millisecond)
+		}
+		hogSlave(env, sc.Cell(1).Clu.Master().Slaves()[0], 5*time.Minute)
+	})
+	splitDone := false
+	var rep *SplitReport
+	env.Go("splitter", func(p *sim.Proc) {
+		p.Sleep(500 * time.Millisecond)
+		r, err := sc.Split(p)
+		if err != nil {
+			t.Errorf("split: %v", err)
+		}
+		rep = r
+		splitDone = true
+	})
+	checked := 0
+	env.Go("app", func(p *sim.Proc) {
+		conn := sc.Connect("app")
+		var mirrored []int64
+		next := int64(rows)
+		for !splitDone {
+			next++
+			before := sc.Stats().DualWrites
+			if _, err := conn.Exec(p, "INSERT INTO kv (id, v) VALUES (?, 'live')", sqlengine.NewInt(next)); err != nil {
+				t.Errorf("insert %d: %v", next, err)
+				return
+			}
+			if sc.Stats().DualWrites > before {
+				mirrored = append(mirrored, next)
+			}
+			p.Sleep(20 * time.Millisecond)
+		}
+		if rep == nil || rep.Aborted {
+			t.Error("split did not complete")
+			return
+		}
+		// The target's slave must still lag its master, or a stale read
+		// could not be told from a correct one.
+		if sc.Cell(1).Clu.Master().Slaves()[0].EventsBehindMaster() == 0 {
+			t.Error("test setup: target slave caught up before the read-back")
+		}
+		for _, id := range mirrored {
+			if sc.Map().Owner(id) != 1 {
+				continue
+			}
+			checked++
+			set, err := conn.Query(p, "SELECT v FROM kv WHERE id = ?", sqlengine.NewInt(id))
+			if err != nil {
+				t.Errorf("read %d: %v", id, err)
+				return
+			}
+			if len(set.Rows) != 1 || set.Rows[0][0].Str() != "live" {
+				t.Errorf("session read of dual-written key %d missed the write after the flip", id)
+			}
+		}
+	})
+	env.RunUntil(5 * time.Minute)
+	if t.Failed() {
+		t.FailNow()
+	}
+	if sc.Stats().DualWrites == 0 {
+		t.Fatal("no dual-writes exercised")
+	}
+	if checked == 0 {
+		t.Fatal("no dual-written key was read back on the new cell")
+	}
 	env.Stop()
 	env.Shutdown()
 }

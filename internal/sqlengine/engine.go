@@ -1,8 +1,9 @@
 // Package sqlengine is an embeddable in-memory relational engine with a
 // MySQL-flavored SQL dialect: typed tables with primary keys and secondary
 // indexes, INSERT/UPDATE/DELETE/SELECT (joins, aggregates, ORDER BY/LIMIT),
-// transactions with rollback, positional parameters, and a statement-commit
-// hook that feeds statement-based replication.
+// MVCC row versioning with snapshot-isolated transactions (mvcc.go),
+// positional parameters, and a statement-commit hook that feeds
+// statement-based replication.
 //
 // The engine stands in for MySQL 5.x in the paper's experiments. Two
 // properties matter for fidelity: per-statement execution statistics (rows
@@ -106,6 +107,23 @@ type Engine struct {
 	// OnCommit, when non-nil, receives every committed write statement.
 	OnCommit CommitHook
 
+	// MVCC state (mvcc.go): commitV is the engine's commit counter — every
+	// finalized write statement or transaction takes the next version, and
+	// replicas additionally advance it to the applied binlog sequence. pins
+	// holds versions kept alive by open SnapshotHandles, txns the sessions
+	// with open transactions, provisional the outstanding in-transaction
+	// stamps (the fast-path read check), sinceGC the commits since the last
+	// chain-GC sweep.
+	commitV     uint64
+	pins        []uint64
+	txns        []*Session
+	provisional int
+	sinceGC     int
+
+	gcRuns     uint64
+	gcVersions uint64
+	gcRows     uint64
+
 	parseCache sync.Map // sql string -> Statement
 }
 
@@ -180,8 +198,15 @@ type Session struct {
 	db  string
 
 	inTxn   bool
+	readV   uint64   // snapshot read version while inTxn (set at BEGIN)
 	pending []string // bound SQL texts awaiting commit, in order
 	undo    []func() // undo actions, applied in reverse on rollback
+	// stamps finalize provisional MVCC version marks with the commit
+	// version assigned at commit time (mvcc.go).
+	stamps []func(cv uint64)
+	// provisional counts this session's outstanding in-transaction stamps,
+	// mirrored into Engine.provisional for the fast-path read check.
+	provisional int
 }
 
 // NewSession opens a session with the given current database (may be "").
@@ -231,7 +256,13 @@ func (s *Session) ExecStmt(stmt Statement, args ...Value) (*Result, error) {
 		if s.inTxn {
 			return nil, fmt.Errorf("sqlengine: nested BEGIN")
 		}
+		// Snapshot isolation: every read inside the transaction resolves
+		// against the commit version current at BEGIN.
+		s.eng.mu.Lock()
 		s.inTxn = true
+		s.readV = s.eng.commitV
+		s.eng.txns = append(s.eng.txns, s)
+		s.eng.mu.Unlock()
 		return &Result{Stats: ExecStats{Class: ClassTxn}, SQL: "BEGIN"}, nil
 	case *CommitStmt:
 		s.commit()
@@ -252,6 +283,11 @@ func (s *Session) ExecStmt(stmt Statement, args ...Value) (*Result, error) {
 	res, err := s.eng.execLocked(s, bound)
 	if err != nil {
 		return nil, err
+	}
+	if res.Stats.Class == ClassWrite && !s.inTxn {
+		// Autocommit: the statement is its own commit — stamp its version
+		// marks before the lock drops and anything else can observe them.
+		s.finalizeStampsLocked()
 	}
 	if res.Stats.Class == ClassWrite || res.Stats.Class == ClassDDL {
 		s.recordCommit(res)
@@ -284,9 +320,10 @@ func (s *Session) recordCommit(res *Result) {
 	}
 	if res.Stats.Class == ClassDDL || !s.inTxn {
 		// An implicitly-committing statement flushes any open transaction
-		// first, preserving order.
+		// first, preserving order. recordCommit always runs with the engine
+		// lock held, so the locked commit form is required here.
 		if res.Stats.Class == ClassDDL && s.inTxn {
-			s.commit()
+			s.commitLocked()
 		}
 		if s.eng.OnCommit != nil {
 			s.eng.OnCommit(s.db, sqls)
@@ -297,19 +334,37 @@ func (s *Session) recordCommit(res *Result) {
 }
 
 func (s *Session) commit() {
+	s.eng.mu.Lock()
+	s.commitLocked()
+	s.eng.mu.Unlock()
+}
+
+// commitLocked finalizes the transaction under the engine lock: provisional
+// MVCC marks take the next commit version, buffered statements reach the
+// binlog hook, and the session leaves the engine's open-transaction set.
+func (s *Session) commitLocked() {
+	s.finalizeStampsLocked()
 	if s.inTxn && len(s.pending) > 0 && s.eng.OnCommit != nil {
 		s.eng.OnCommit(s.db, s.pending)
 	}
+	s.eng.dropTxnLocked(s)
 	s.pending = nil
 	s.undo = nil
 	s.inTxn = false
 }
 
+// rollback is the write-side abort path: the undo log physically restores
+// heap/index state and pops the chain entries the transaction pushed, and
+// the provisional version marks are discarded unstamped.
 func (s *Session) rollback() {
 	s.eng.mu.Lock()
 	for i := len(s.undo) - 1; i >= 0; i-- {
 		s.undo[i]()
 	}
+	s.eng.provisional -= s.provisional
+	s.provisional = 0
+	s.stamps = nil
+	s.eng.dropTxnLocked(s)
 	s.eng.mu.Unlock()
 	s.pending = nil
 	s.undo = nil

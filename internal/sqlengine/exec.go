@@ -156,6 +156,18 @@ func (e *Engine) execInsert(s *Session, st *InsertStmt) (*Result, error) {
 		stats.RowsAffected++
 	}
 	rows := inserted
+	for _, r := range rows {
+		r.begin = provisionalVersion
+		if s.inTxn {
+			r.txn = s
+		}
+	}
+	s.addStamp(func(cv uint64) {
+		for _, r := range rows {
+			r.begin = cv
+			r.txn = nil
+		}
+	})
 	s.addUndo(func() {
 		for i := len(rows) - 1; i >= 0; i-- {
 			tbl.Delete(rows[i])
@@ -208,8 +220,16 @@ func (e *Engine) execUpdate(s *Session, st *UpdateStmt) (*Result, error) {
 		targets = append(targets, r)
 	}
 	type undoRec struct {
-		r   *Row
-		old []Value
+		r      *Row
+		old    []Value
+		pushed *rowVersion
+	}
+	popChain := func(rec undoRec) {
+		if rec.pushed != nil {
+			rec.r.prev = rec.pushed.prev
+			rec.r.begin = rec.pushed.begin
+			rec.r.txn = nil
+		}
 	}
 	var undos []undoRec
 	for _, r := range targets {
@@ -228,20 +248,47 @@ func (e *Engine) execUpdate(s *Session, st *UpdateStmt) (*Result, error) {
 			continue
 		}
 		old := append([]Value(nil), r.vals...)
+		var pushed *rowVersion
+		if r.txn == nil {
+			// Committed image: supersede it on the version chain. A row
+			// already provisional (same-transaction rewrite, or a foreign
+			// open writer) is overwritten in place — intra-transaction
+			// rewrites create no versions, and concurrent writers to one
+			// row keep the engine's last-write-wins semantics.
+			pushed = &rowVersion{vals: old, begin: r.begin, prev: r.prev}
+		}
 		if err := tbl.Update(r, newVals); err != nil {
 			for i := len(undos) - 1; i >= 0; i-- {
 				_ = tbl.Update(undos[i].r, undos[i].old)
+				popChain(undos[i])
 			}
 			return nil, err
 		}
-		undos = append(undos, undoRec{r, old})
+		if pushed != nil {
+			r.prev = pushed
+			r.begin = provisionalVersion
+			if s.inTxn {
+				r.txn = s
+			}
+		}
+		undos = append(undos, undoRec{r, old, pushed})
 		stats.RowsAffected++
 	}
 	if len(undos) > 0 {
 		recs := undos
+		s.addStamp(func(cv uint64) {
+			for _, rec := range recs {
+				if rec.pushed != nil {
+					rec.pushed.end = cv
+					rec.r.begin = cv
+					rec.r.txn = nil
+				}
+			}
+		})
 		s.addUndo(func() {
 			for i := len(recs) - 1; i >= 0; i-- {
 				_ = tbl.Update(recs[i].r, recs[i].old)
+				popChain(recs[i])
 			}
 		})
 	}
@@ -278,24 +325,38 @@ func (e *Engine) execDelete(s *Session, st *DeleteStmt) (*Result, error) {
 		}
 		targets = append(targets, r)
 	}
-	var saved [][]Value
 	for _, r := range targets {
-		saved = append(saved, append([]Value(nil), r.vals...))
+		// MVCC delete: out of the heap, primary key and indexes (latest
+		// readers must not see it), into the graveyard for snapshot readers
+		// until chain GC reclaims it. The end stamp finalizes at commit.
 		tbl.Delete(r)
+		tbl.graveyard = append(tbl.graveyard, r)
+		r.end = provisionalVersion
+		if s.inTxn {
+			r.txn = s
+		}
 		stats.RowsAffected++
 	}
-	if len(saved) > 0 {
-		vals := saved
+	if len(targets) > 0 {
+		rows := targets
+		s.addStamp(func(cv uint64) {
+			for _, r := range rows {
+				r.end = cv
+				r.txn = nil
+			}
+		})
 		s.addUndo(func() {
-			for _, v := range vals {
-				_, _ = tbl.Insert(v)
+			for i := len(rows) - 1; i >= 0; i-- {
+				rows[i].end = 0
+				rows[i].txn = nil
+				tbl.relink(rows[i])
 			}
 		})
 	}
 	res := &Result{Stats: stats, SQL: st.String()}
 	if e.Format == FormatRow {
-		for _, before := range saved {
-			res.RowSQL = append(res.RowSQL, renderRowDelete(tbl, before))
+		for _, r := range targets {
+			res.RowSQL = append(res.RowSQL, renderRowDelete(tbl, r.vals))
 		}
 	}
 	return res, nil
@@ -407,20 +468,36 @@ func (e *Engine) execSelect(s *Session, st *SelectStmt) (*Result, error) {
 		sc.tables = append(sc.tables, scopeTable{strings.ToLower(j.Table.refName()), jt, nil})
 	}
 
-	// Scan the driving table, using an index when the WHERE allows.
-	cands, usedIdx := pickCandidates(fromTbl, st.From.refName(), st.Where, e)
-	stats.UsedIndex = usedIdx
-	stats.RowsExamined += len(cands)
+	// Scan the driving table. At the latest commit version with no foreign
+	// provisional writes, the live heap and its indexes are exact — the
+	// legacy fast path. A snapshot reader (open transaction behind the
+	// latest commit, or concurrent provisional writers) resolves visibility
+	// through the version chains instead; indexes cover only latest images,
+	// so the chain scan walks the full heap plus the graveyard.
+	readV, mvccScan := e.readViewFor(s)
+	var candVals [][]Value
+	if mvccScan {
+		candVals = fromTbl.scanVisible(s, readV)
+		stats.RowsExamined += len(candVals)
+	} else {
+		cands, usedIdx := pickCandidates(fromTbl, st.From.refName(), st.Where, e)
+		stats.UsedIndex = usedIdx
+		stats.RowsExamined += len(cands)
+		candVals = make([][]Value, len(cands))
+		for i, r := range cands {
+			candVals[i] = r.vals
+		}
+	}
 
 	// One flat backing array for the initial working rows instead of one
 	// heap object per candidate — the scan is the per-query allocation
 	// hot spot.
 	nt := len(sc.tables)
-	cur := make([]jrow, len(cands))
-	flat := make(jrow, len(cands)*nt)
-	for i, r := range cands {
+	cur := make([]jrow, len(candVals))
+	flat := make(jrow, len(candVals)*nt)
+	for i, vals := range candVals {
 		row := flat[i*nt : (i+1)*nt : (i+1)*nt]
-		row[0] = r.vals
+		row[0] = vals
 		cur[i] = row
 	}
 
@@ -430,6 +507,13 @@ func (e *Engine) execSelect(s *Session, st *SelectStmt) (*Result, error) {
 		jt := joinTbls[ji]
 		rightIdx := ji + 1
 		eqCol, eqExpr := joinEqPattern(j.On, strings.ToLower(j.Table.refName()), jt)
+		// Under a chain-resolving scan the join side is versioned too: one
+		// visibility pass over the join table, reused for every outer row
+		// (its index reflects only latest images).
+		var jimages [][]Value
+		if mvccScan {
+			jimages = jt.scanVisible(s, readV)
+		}
 		var next []jrow
 		// Matched rows are copied out of chunked backing arrays rather than
 		// one heap object per match.
@@ -446,22 +530,32 @@ func (e *Engine) execSelect(s *Session, st *SelectStmt) (*Result, error) {
 		for _, row := range cur {
 			setScope(sc, row)
 			var matches []*Row
-			indexed := false
-			if eqCol >= 0 {
-				if v, err := sc.eval(eqExpr); err == nil {
-					if rows, usable := jt.lookupEq(eqCol, v); usable {
-						matches = rows
-						indexed = true
+			if !mvccScan {
+				indexed := false
+				if eqCol >= 0 {
+					if v, err := sc.eval(eqExpr); err == nil {
+						if rows, usable := jt.lookupEq(eqCol, v); usable {
+							matches = rows
+							indexed = true
+						}
 					}
 				}
+				if !indexed {
+					matches = jt.Rows()
+				}
 			}
-			if !indexed {
-				matches = jt.Rows()
+			nmatch := len(matches)
+			if mvccScan {
+				nmatch = len(jimages)
 			}
-			stats.RowsExamined += len(matches)
+			stats.RowsExamined += nmatch
 			matched := false
-			for _, m := range matches {
-				row[rightIdx] = m.vals
+			for mi := 0; mi < nmatch; mi++ {
+				if mvccScan {
+					row[rightIdx] = jimages[mi]
+				} else {
+					row[rightIdx] = matches[mi].vals
+				}
 				setScope(sc, row)
 				ok, err := sc.eval(j.On)
 				if err != nil {

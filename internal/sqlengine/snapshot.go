@@ -7,10 +7,16 @@ import (
 
 // Snapshot is a consistent deep copy of an engine's entire catalog — the
 // mysqldump/xtrabackup equivalent used to provision new replicas from a
-// running master instead of replaying history from the beginning.
+// running master instead of replaying history from the beginning. It is
+// taken at a single commit version: row images resolve through the MVCC
+// chains, so the capture is consistent without quiescing the engine.
 type Snapshot struct {
-	dbs []snapshotDB
+	version uint64
+	dbs     []snapshotDB
 }
+
+// Version returns the commit version the snapshot was captured at.
+func (s *Snapshot) Version() uint64 { return s.version }
 
 type snapshotDB struct {
 	name   string
@@ -36,16 +42,23 @@ func (s *Snapshot) NumRows() int {
 	return n
 }
 
-// Snapshot captures every database, table definition and row. The caller
-// must ensure the engine is quiescent (on the simulation timeline any
-// single instant is quiescent). Databases and tables are captured in
-// sorted-name order so that two snapshots of identical catalogs are
-// byte-identical — replica provisioning cost and restore order must not
-// depend on Go's per-run map hashing.
+// Snapshot captures every database, table definition and row as of the
+// engine's current commit version — a non-quiescent versioned read: images
+// resolve through the MVCC chains, so provisional writes of open
+// transactions are excluded instead of requiring the engine to pause.
+// Databases and tables are captured in sorted-name order so that two
+// snapshots of identical catalogs are byte-identical — replica provisioning
+// cost and restore order must not depend on Go's per-run map hashing.
 func (e *Engine) Snapshot() *Snapshot {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
-	snap := &Snapshot{}
+	return e.snapshotAtLocked(e.commitV)
+}
+
+// snapshotAtLocked captures the catalog as seen at commit version v. The
+// engine lock (read or write) is held by the caller.
+func (e *Engine) snapshotAtLocked(v uint64) *Snapshot {
+	snap := &Snapshot{version: v}
 	for _, dbKey := range sortedKeys(e.dbs) {
 		db := e.dbs[dbKey]
 		sd := snapshotDB{name: db.Name}
@@ -66,13 +79,69 @@ func (e *Engine) Snapshot() *Snapshot {
 				st.indexes = append(st.indexes, def)
 			}
 			for _, r := range tbl.rows {
-				st.rows = append(st.rows, append([]Value(nil), r.vals...))
+				if img := r.visibleTo(nil, v); img != nil {
+					st.rows = append(st.rows, append([]Value(nil), img...))
+				}
+			}
+			for _, r := range tbl.graveyard {
+				if img := r.visibleTo(nil, v); img != nil {
+					st.rows = append(st.rows, append([]Value(nil), img...))
+				}
 			}
 			sd.tables = append(sd.tables, st)
 		}
 		snap.dbs = append(snap.dbs, sd)
 	}
 	return snap
+}
+
+// SnapshotHandle pins a commit version: chain GC keeps every row image that
+// version can see until Close releases the pin. Materialize may run any
+// number of times, arbitrarily later — even after further commits. A handle
+// that is never Closed pins chain memory for the engine's lifetime;
+// cloudrepl-lint's closecheck flags dropped handles.
+type SnapshotHandle struct {
+	eng    *Engine
+	v      uint64
+	closed bool
+}
+
+// Pin captures the current commit version and protects its images from
+// chain GC until Close — the provisioning-friendly form of Snapshot: pin at
+// the binlog position you record, copy rows later, then release.
+func (e *Engine) Pin() *SnapshotHandle {
+	e.mu.Lock()
+	h := &SnapshotHandle{eng: e, v: e.commitV}
+	e.pins = append(e.pins, h.v)
+	e.mu.Unlock()
+	return h
+}
+
+// Version returns the pinned commit version.
+func (h *SnapshotHandle) Version() uint64 { return h.v }
+
+// Materialize deep-copies the catalog as of the pinned version.
+func (h *SnapshotHandle) Materialize() *Snapshot {
+	h.eng.mu.RLock()
+	defer h.eng.mu.RUnlock()
+	return h.eng.snapshotAtLocked(h.v)
+}
+
+// Close releases the pin; closing twice is a no-op.
+func (h *SnapshotHandle) Close() {
+	if h.closed {
+		return
+	}
+	h.closed = true
+	e := h.eng
+	e.mu.Lock()
+	for i, v := range e.pins {
+		if v == h.v {
+			e.pins = append(e.pins[:i], e.pins[i+1:]...)
+			break
+		}
+	}
+	e.mu.Unlock()
 }
 
 // Restore replaces the engine's entire catalog with the snapshot's
@@ -103,6 +172,9 @@ func (e *Engine) Restore(snap *Snapshot) error {
 		dbs[lowerKey(sd.name)] = db
 	}
 	e.dbs = dbs
+	if snap.version > e.commitV {
+		e.commitV = snap.version
+	}
 	return nil
 }
 

@@ -9,9 +9,17 @@ import (
 var ErrDuplicateKey = fmt.Errorf("duplicate key")
 
 // Row is a stored tuple. Rows have stable identity so index buckets can
-// reference them across updates.
+// reference them across updates. MVCC state rides on the row: begin and end
+// are the commit versions bounding the current image's visibility (end 0 =
+// still live), prev chains superseded committed images newest-first, and
+// txn marks an image provisionally written by an open transaction (see
+// mvcc.go for the visibility rules).
 type Row struct {
-	vals []Value
+	vals  []Value
+	begin uint64
+	end   uint64
+	prev  *rowVersion
+	txn   *Session
 }
 
 // Values returns the row's values aligned with the table's columns. The
@@ -63,14 +71,18 @@ func (ix *Index) remove(r *Row) {
 // Table is an in-memory heap of rows with a primary key and optional
 // secondary indexes.
 type Table struct {
-	Name     string
-	Columns  []ColumnDef
-	colPos   map[string]int
-	pkCols   []int
-	rows     []*Row
-	pk       map[string]*Row
-	indexes  []*Index
-	rowBytes int // rough per-row footprint, informational
+	Name    string
+	Columns []ColumnDef
+	colPos  map[string]int
+	pkCols  []int
+	rows    []*Row
+	pk      map[string]*Row
+	indexes []*Index
+	// graveyard holds deleted rows until chain GC proves no snapshot
+	// reader can still see them; they are out of the heap, primary key
+	// and indexes, found only by version-resolving scans.
+	graveyard []*Row
+	rowBytes  int // rough per-row footprint, informational
 }
 
 // NewTable builds a table from column definitions, a primary-key column
@@ -284,9 +296,12 @@ func (t *Table) lookupEq(col int, v Value) ([]*Row, bool) {
 	return nil, false
 }
 
-// Truncate removes all rows.
+// Truncate removes all rows. TRUNCATE is DDL, not a versioned write: the
+// graveyard and version chains go with the heap, so snapshot readers lose
+// pre-truncate images (documented MVCC scope, DESIGN.md §12).
 func (t *Table) Truncate() {
 	t.rows = nil
+	t.graveyard = nil
 	t.pk = make(map[string]*Row)
 	for _, ix := range t.indexes {
 		ix.buckets = make(map[string][]*Row)
