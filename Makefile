@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-smoke bench-kernel shard-smoke consist-smoke determinism-smoke trace-smoke fuzz-seed figures examples vet fmt fmt-check lint clean check
+.PHONY: all build test race race-shards bench bench-smoke bench-kernel shard-smoke consist-smoke determinism-smoke trace-smoke fuzz-seed figures examples vet fmt fmt-check lint lint-nocache clean check
 
 all: build vet lint test
 
@@ -15,12 +15,19 @@ check:
 	$(MAKE) consist-smoke
 	$(MAKE) bench-kernel
 
-# Determinism linters (simtime, simrand, rawgo, maporder, closecheck) plus
-# the gofmt cleanliness gate. cloudrepl-lint is the repo's own multichecker
+# The nine-analyzer lint suite — five package-local determinism linters
+# (simtime, simrand, rawgo, maporder, closecheck) plus four whole-program
+# flow-aware ones (errdrop, lockorder, mvccalias, sharedstate) — behind the
+# gofmt cleanliness gate. cloudrepl-lint is the repo's own multichecker
 # (cmd/cloudrepl-lint); suppressions are //cloudrepl:allow-<analyzer> <reason>
-# comments and stale ones fail the lint.
+# comments and stale ones fail the lint (`-fix-stale` deletes them). Results
+# are cached in .cloudrepl-lint-cache.json keyed on file hashes; an unchanged
+# tree replays instantly.
 lint: fmt-check
 	$(GO) run ./cmd/cloudrepl-lint ./...
+
+lint-nocache: fmt-check
+	$(GO) run ./cmd/cloudrepl-lint -nocache ./...
 
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -40,6 +47,14 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Dedicated race lane for the packages that fan work onto real goroutines
+# (RunShards workers, sweep parallelism) and the kernel they drive. -count=2
+# reruns shake out schedule-dependent interleavings the first pass misses;
+# sharedstate (static) and this lane (dynamic) cover the same bug class from
+# both sides.
+race-shards:
+	$(GO) test -race -count=2 ./internal/experiment/ ./internal/sim/
 
 # Compact per-figure benchmarks (one testing.B bench per table/figure).
 bench:

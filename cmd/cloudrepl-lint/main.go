@@ -1,11 +1,20 @@
-// Command cloudrepl-lint is the repo's determinism multichecker: it runs
-// the internal/analysis suite (simtime, simrand, rawgo, maporder,
-// closecheck) over module packages and exits non-zero on any unannotated
+// Command cloudrepl-lint is the repo's determinism and dataflow
+// multichecker: it runs the internal/analysis suite — five package-local
+// determinism analyzers (simtime, simrand, rawgo, maporder, closecheck) and
+// four whole-program flow-aware analyzers (errdrop, lockorder, mvccalias,
+// sharedstate) — over module packages and exits non-zero on any unannotated
 // violation.
 //
 //	cloudrepl-lint ./...                   # whole repo (what `make lint` runs)
 //	cloudrepl-lint ./internal/repl         # one package
 //	cloudrepl-lint -list                   # describe the analyzers
+//	cloudrepl-lint -only errdrop ./...     # run a subset
+//	cloudrepl-lint -fix-stale ./...        # delete stale allow directives
+//	cloudrepl-lint -nocache ./...          # bypass the incremental cache
+//
+// Results are cached in .cloudrepl-lint-cache.json at the module root, keyed
+// on per-package file hashes plus the analyzer set; an unchanged tree replays
+// instantly without type-checking.
 //
 // The container this repo builds in has no module proxy, so the tool
 // re-implements the go/analysis driver on the standard library instead of
@@ -19,6 +28,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"strings"
 
 	"cloudrepl/internal/analysis"
 )
@@ -26,6 +37,8 @@ import (
 func main() {
 	list := flag.Bool("list", false, "describe the analyzers and exit")
 	only := flag.String("only", "", "comma-separated subset of analyzers to run")
+	fixStale := flag.Bool("fix-stale", false, "delete stale allow directives from source files")
+	nocache := flag.Bool("nocache", false, "bypass the incremental lint cache")
 	flag.Parse()
 
 	analyzers := analysis.All()
@@ -62,10 +75,40 @@ func main() {
 		fmt.Fprintln(os.Stderr, "cloudrepl-lint:", err)
 		os.Exit(2)
 	}
-	diags, err := analysis.Lint(moduleDir, analyzers, patterns...)
+	lint := analysis.LintDetailCached
+	if *nocache {
+		lint = analysis.LintDetail
+	}
+	res, err := lint(moduleDir, analyzers, patterns...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cloudrepl-lint:", err)
 		os.Exit(2)
+	}
+
+	diags := res.Diagnostics
+	if *fixStale && len(res.Stale) > 0 {
+		fixed, err := removeStaleDirectives(res.Stale)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cloudrepl-lint:", err)
+			os.Exit(2)
+		}
+		for _, f := range fixed {
+			fmt.Printf("%s: removed stale directive\n", f)
+		}
+		// The stale-directive diagnostics are resolved by the edit; keep
+		// everything else (violations, malformed directives).
+		var kept []analysis.Diagnostic
+		for _, d := range diags {
+			if d.Analyzer == "directive" && strings.Contains(d.Message, "stale allow-") {
+				continue
+			}
+			kept = append(kept, d)
+		}
+		diags = kept
+	}
+
+	if res.CacheHit {
+		fmt.Fprintln(os.Stderr, "cloudrepl-lint: cache hit")
 	}
 	for _, d := range diags {
 		fmt.Println(d)
@@ -74,6 +117,54 @@ func main() {
 		fmt.Fprintf(os.Stderr, "cloudrepl-lint: %d finding(s)\n", len(diags))
 		os.Exit(1)
 	}
+}
+
+// removeStaleDirectives deletes each stale allow comment in place: a
+// directive on its own line is removed line-and-all, a trailing directive is
+// cut from the end of its statement line. Returns "file:line" strings for
+// what was removed.
+func removeStaleDirectives(stale []*analysis.Directive) ([]string, error) {
+	byFile := map[string][]*analysis.Directive{}
+	for _, d := range stale {
+		byFile[d.Pos.Filename] = append(byFile[d.Pos.Filename], d)
+	}
+	files := make([]string, 0, len(byFile))
+	for f := range byFile {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+
+	var fixed []string
+	for _, file := range files {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			return nil, err
+		}
+		lines := strings.Split(string(data), "\n")
+		dirs := byFile[file]
+		// Apply bottom-up so earlier line numbers stay valid after deletions.
+		sort.Slice(dirs, func(i, j int) bool { return dirs[i].Pos.Line > dirs[j].Pos.Line })
+		for _, d := range dirs {
+			i := d.Pos.Line - 1
+			if i < 0 || i >= len(lines) {
+				return nil, fmt.Errorf("%s:%d: stale directive out of range", file, d.Pos.Line)
+			}
+			line := lines[i]
+			if strings.HasPrefix(strings.TrimSpace(line), "//cloudrepl:allow-") {
+				lines = append(lines[:i], lines[i+1:]...)
+			} else if col := strings.Index(line, "//cloudrepl:allow-"); col >= 0 {
+				lines[i] = strings.TrimRight(line[:col], " \t")
+			} else {
+				return nil, fmt.Errorf("%s:%d: no directive found on line", file, d.Pos.Line)
+			}
+			fixed = append(fixed, fmt.Sprintf("%s:%d", file, d.Pos.Line))
+		}
+		if err := os.WriteFile(file, []byte(strings.Join(lines, "\n")), 0o644); err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(fixed)
+	return fixed, nil
 }
 
 func splitComma(s string) []string {

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cloudrepl/internal/analysis"
+)
+
+// TestRemoveStaleDirectives runs the real lint pipeline over a module whose
+// only directives are stale — one on its own line, one trailing a statement —
+// then checks -fix-stale's editor removes exactly those and that a re-lint
+// comes back clean.
+func TestRemoveStaleDirectives(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module staledemo\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	src := `package pkg
+
+//cloudrepl:allow-errdrop nothing here drops an error anymore
+func clean() int {
+	x := 1 //cloudrepl:allow-maporder no map in sight
+	return x
+}
+`
+	pkgDir := filepath.Join(dir, "pkg")
+	if err := os.Mkdir(pkgDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	file := filepath.Join(pkgDir, "pkg.go")
+	if err := os.WriteFile(file, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := analysis.LintDetail(dir, analysis.All(), "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Stale) != 2 {
+		t.Fatalf("stale directives = %d, want 2", len(res.Stale))
+	}
+
+	fixed, err := removeStaleDirectives(res.Stale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fixed) != 2 {
+		t.Fatalf("fixed = %v, want 2 entries", fixed)
+	}
+
+	after, err := os.ReadFile(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(after), "cloudrepl:allow") {
+		t.Fatalf("directives survived the fix:\n%s", after)
+	}
+	if !strings.Contains(string(after), "x := 1\n") {
+		t.Fatalf("trailing-directive line lost its statement:\n%s", after)
+	}
+
+	res2, err := analysis.LintDetail(dir, analysis.All(), "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.Diagnostics) != 0 || len(res2.Stale) != 0 {
+		t.Fatalf("post-fix lint not clean: diags=%v stale=%v", res2.Diagnostics, res2.Stale)
+	}
+}

@@ -29,8 +29,14 @@ type Analyzer struct {
 	Name string
 	// Doc is the one-paragraph description shown by cloudrepl-lint -help.
 	Doc string
-	// Run applies the check to a single type-checked package.
+	// Run applies the check to a single type-checked package. Packages are
+	// visited in dependency order, so facts exported on a dependency's
+	// objects are importable here.
 	Run func(*Pass) error
+	// Finish, when non-nil, runs once after Run has been applied to every
+	// package of the Program — the hook for whole-program conclusions such
+	// as cycle detection over a graph the per-package passes accumulated.
+	Finish func(*FinishPass) error
 }
 
 // Pass carries everything an Analyzer needs to inspect one package.
@@ -43,7 +49,13 @@ type Pass struct {
 	// analysistest fixtures it is the bare fixture directory name.
 	Path string
 	Info *types.Info
+	// Prog is the whole-module analysis universe this pass runs inside:
+	// every loaded package, the shared fact store and the call graph. Nil
+	// only when an analyzer is driven through the legacy single-package Run
+	// entry point.
+	Prog *Program
 
+	facts *factStore
 	diags *[]Diagnostic
 }
 
@@ -81,28 +93,21 @@ func (p *Pass) Inspect(f func(ast.Node) bool) {
 	}
 }
 
-// Run applies each analyzer to the package and returns the diagnostics it
-// produced, sorted by position. Allow-directive suppression is layered on
-// top by the caller (the driver or the analysistest harness) so that both
-// agree on the semantics.
+// Run applies each analyzer to the single package and returns the
+// diagnostics it produced, sorted by position — the legacy entry point,
+// kept for tests that poke one package. It fabricates a one-package Program
+// (no dependencies, empty fact universe) so analyzers that use facts or the
+// call graph still work, seeing only this package. Allow-directive
+// suppression is layered on top by the caller (the driver or the
+// analysistest harness) so that both agree on the semantics.
 func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
-	var diags []Diagnostic
-	for _, a := range analyzers {
-		pass := &Pass{
-			Analyzer: a,
-			Fset:     pkg.Fset,
-			Files:    pkg.Files,
-			Pkg:      pkg.Types,
-			Path:     pkg.Path,
-			Info:     pkg.Info,
-			diags:    &diags,
-		}
-		if err := a.Run(pass); err != nil {
-			return nil, fmt.Errorf("%s: %s: %w", pkg.Path, a.Name, err)
-		}
+	prog := &Program{
+		Pkgs:   []*Package{pkg},
+		ByPath: map[string]*Package{pkg.Path: pkg},
+		Fset:   pkg.Fset,
+		facts:  newFactStore(),
 	}
-	sortDiagnostics(diags)
-	return diags, nil
+	return RunProgram(prog, analyzers, nil)
 }
 
 func sortDiagnostics(diags []Diagnostic) {

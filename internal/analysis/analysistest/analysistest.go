@@ -22,10 +22,13 @@ import (
 	"cloudrepl/internal/analysis"
 )
 
-// Run loads the fixture package at dir (conventionally
-// "testdata/src/<name>", relative to the test's working directory), applies
-// the analyzer with directive suppression, and checks the diagnostics
-// against the fixture's want comments.
+// Run loads the fixture tree rooted at dir (conventionally
+// "testdata/src/<name>", relative to the test's working directory) — the
+// root package plus any subdirectory packages, so fixtures can exercise
+// cross-package fact propagation — applies the analyzer over the whole
+// fixture program (per-package passes in dependency order, then the Finish
+// hook) with directive suppression, and checks the diagnostics against the
+// fixtures' want comments.
 func Run(t *testing.T, dir string, a *analysis.Analyzer) {
 	t.Helper()
 	absDir, err := filepath.Abs(dir)
@@ -51,26 +54,33 @@ func Run(t *testing.T, dir string, a *analysis.Analyzer) {
 	if err != nil {
 		t.Fatalf("loader: %v", err)
 	}
-	pkgs, err := l.Load(rel)
+	pkgs, err := l.Load(rel + "/...")
 	if err != nil {
 		t.Fatalf("load %s: %v", dir, err)
 	}
-	if len(pkgs) != 1 {
-		t.Fatalf("load %s: got %d packages, want 1", dir, len(pkgs))
+	if len(pkgs) == 0 {
+		t.Fatalf("load %s: no packages", dir)
 	}
-	pkg := pkgs[0]
 
-	diags, err := analysis.Run(pkg, []*analysis.Analyzer{a})
+	prog := analysis.NewProgram(l)
+	diags, err := analysis.RunProgram(prog, []*analysis.Analyzer{a}, pkgs)
 	if err != nil {
 		t.Fatalf("run %s on %s: %v", a.Name, dir, err)
 	}
-	dirs, bad := analysis.ParseDirectives(pkg, analysis.KnownNames())
-	for _, d := range bad {
-		t.Errorf("fixture %s: malformed directive: %s", dir, d)
+	var dirs []*analysis.Directive
+	for _, pkg := range pkgs {
+		ds, bad := analysis.ParseDirectives(pkg, analysis.KnownNames())
+		dirs = append(dirs, ds...)
+		for _, d := range bad {
+			t.Errorf("fixture %s: malformed directive: %s", dir, d)
+		}
 	}
 	diags = analysis.Suppress(diags, dirs)
 
-	wants := collectWants(t, pkg)
+	var wants []want
+	for _, pkg := range pkgs {
+		wants = append(wants, collectWants(t, pkg)...)
+	}
 	matched := make([]bool, len(wants))
 	for _, d := range diags {
 		ok := false

@@ -30,6 +30,22 @@ func TestCloseCheck(t *testing.T) {
 	analysistest.Run(t, analysistest.FixturePath("closecheck"), analysis.CloseCheck)
 }
 
+func TestErrDrop(t *testing.T) {
+	analysistest.Run(t, analysistest.FixturePath("errdrop"), analysis.ErrDrop)
+}
+
+func TestLockOrder(t *testing.T) {
+	analysistest.Run(t, analysistest.FixturePath("lockorder"), analysis.LockOrder)
+}
+
+func TestMVCCAlias(t *testing.T) {
+	analysistest.Run(t, analysistest.FixturePath("mvccalias"), analysis.MVCCAlias)
+}
+
+func TestSharedState(t *testing.T) {
+	analysistest.Run(t, analysistest.FixturePath("sharedstate"), analysis.SharedState)
+}
+
 // moduleRoot walks up from the test's working directory to go.mod.
 func moduleRoot(t *testing.T) string {
 	t.Helper()

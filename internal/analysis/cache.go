@@ -1,0 +1,170 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// CacheFile is the lint cache's file name, written at the module root. The
+// file is a build artifact (it is .gitignore'd): deleting it only costs one
+// cold lint run.
+const CacheFile = ".cloudrepl-lint-cache.json"
+
+// cacheEntry is the serialized outcome of one full lint run. Validity is
+// judged by comparing the recorded inputs — analyzer set, patterns, and the
+// per-package hashes of every file the loader could have read — against the
+// current tree; any difference is a miss and the cache is rebuilt. There is
+// no partial reuse: the whole-program analyzers (facts, call graph, lock
+// cycles) make a single package's diagnostics depend on code anywhere in the
+// module, so per-package replay would be unsound.
+type cacheEntry struct {
+	Analyzers   []string                     `json:"analyzers"`
+	Patterns    []string                     `json:"patterns"`
+	Packages    map[string]map[string]string `json:"packages"` // rel dir -> file -> sha256
+	Diagnostics []Diagnostic                 `json:"diagnostics"`
+	Stale       []*Directive                 `json:"stale"`
+}
+
+// lintFingerprint hashes every file that can influence a lint run: go.mod
+// (module path) plus each non-test .go file in the directories the loader
+// walks, grouped per package directory. Build-tag-excluded files are hashed
+// too — their content cannot change results, so including them only turns
+// some hits into (safe) misses.
+func lintFingerprint(moduleDir string) (map[string]map[string]string, error) {
+	pkgs := map[string]map[string]string{}
+	hashInto := func(relDir, name, path string) error {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		sum := sha256.Sum256(data)
+		if pkgs[relDir] == nil {
+			pkgs[relDir] = map[string]string{}
+		}
+		pkgs[relDir][name] = hex.EncodeToString(sum[:])
+		return nil
+	}
+	if err := hashInto(".", "go.mod", filepath.Join(moduleDir, "go.mod")); err != nil {
+		return nil, err
+	}
+	err := filepath.WalkDir(moduleDir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			// Mirror Loader.walkPackageDirs: hidden, underscore, testdata and
+			// results trees are invisible to the loader, so their content
+			// cannot change a lint outcome.
+			if path != moduleDir && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata" || name == "results") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			return nil
+		}
+		rel, err := filepath.Rel(moduleDir, filepath.Dir(path))
+		if err != nil {
+			return err
+		}
+		return hashInto(filepath.ToSlash(rel), name, path)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return pkgs, nil
+}
+
+func analyzerNames(analyzers []*Analyzer) []string {
+	names := make([]string, 0, len(analyzers))
+	for _, a := range analyzers {
+		names = append(names, a.Name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func equalFingerprints(a, b map[string]map[string]string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	//cloudrepl:allow-maporder set equality: the result is the same whichever entry mismatches first
+	for dir, files := range a {
+		other, ok := b[dir]
+		if !ok || len(files) != len(other) {
+			return false
+		}
+		//cloudrepl:allow-maporder set equality: the result is the same whichever entry mismatches first
+		for name, sum := range files {
+			if other[name] != sum {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// LintDetailCached is LintDetail behind the incremental cache: when the
+// module's files, the analyzer set, and the patterns all match the entry in
+// CacheFile, the stored result is replayed (CacheHit=true) without parsing
+// or type-checking anything. On a miss the full pipeline runs and the cache
+// is rewritten. Cache read/write failures are deliberately non-fatal — a
+// corrupt or unwritable cache degrades to a cold run, never to a lint error.
+func LintDetailCached(moduleDir string, analyzers []*Analyzer, patterns ...string) (*LintResult, error) {
+	fp, err := lintFingerprint(moduleDir)
+	if err != nil {
+		return nil, err
+	}
+	names := analyzerNames(analyzers)
+	pats := append([]string(nil), patterns...)
+	sort.Strings(pats)
+	cachePath := filepath.Join(moduleDir, CacheFile)
+
+	if data, err := os.ReadFile(cachePath); err == nil {
+		var entry cacheEntry
+		if json.Unmarshal(data, &entry) == nil &&
+			equalStrings(entry.Analyzers, names) &&
+			equalStrings(entry.Patterns, pats) &&
+			equalFingerprints(entry.Packages, fp) {
+			return &LintResult{
+				Diagnostics: entry.Diagnostics,
+				Stale:       entry.Stale,
+				CacheHit:    true,
+			}, nil
+		}
+	}
+
+	res, err := LintDetail(moduleDir, analyzers, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	entry := cacheEntry{
+		Analyzers:   names,
+		Patterns:    pats,
+		Packages:    fp,
+		Diagnostics: res.Diagnostics,
+		Stale:       res.Stale,
+	}
+	if data, err := json.MarshalIndent(&entry, "", "\t"); err == nil {
+		_ = os.WriteFile(cachePath, data, 0o644)
+	}
+	return res, nil
+}

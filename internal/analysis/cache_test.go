@@ -1,0 +1,120 @@
+package analysis_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cloudrepl/internal/analysis"
+)
+
+// writeTempModule lays out a minimal single-package module for cache tests.
+func writeTempModule(t *testing.T, body string) string {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module cachedemo\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Mkdir(filepath.Join(dir, "pkg"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "pkg", "pkg.go"), []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+const cacheFixtureBad = `package pkg
+
+import "errors"
+
+func fallible() error { return errors.New("boom") }
+
+func drop() { fallible() }
+`
+
+const cacheFixtureGood = `package pkg
+
+import "errors"
+
+func fallible() error { return errors.New("boom") }
+
+func drop() { _ = fallible() }
+`
+
+func TestLintCacheHitAndInvalidation(t *testing.T) {
+	dir := writeTempModule(t, cacheFixtureBad)
+	analyzers := analysis.All()
+
+	// Cold run: full pipeline, finds the dropped error, writes the cache.
+	res, err := analysis.LintDetailCached(dir, analyzers, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CacheHit {
+		t.Error("first run reported a cache hit with no cache file")
+	}
+	if len(res.Diagnostics) != 1 || res.Diagnostics[0].Analyzer != "errdrop" {
+		t.Fatalf("cold run diagnostics = %v, want one errdrop finding", res.Diagnostics)
+	}
+	if _, err := os.Stat(filepath.Join(dir, analysis.CacheFile)); err != nil {
+		t.Fatalf("cache file not written: %v", err)
+	}
+
+	// Warm run: identical inputs replay from the cache, same diagnostics.
+	res2, err := analysis.LintDetailCached(dir, analyzers, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.CacheHit {
+		t.Error("second run with unchanged inputs missed the cache")
+	}
+	if len(res2.Diagnostics) != 1 || res2.Diagnostics[0].Message != res.Diagnostics[0].Message {
+		t.Fatalf("replayed diagnostics = %v, want %v", res2.Diagnostics, res.Diagnostics)
+	}
+
+	// Editing a file invalidates: the fix removes the finding.
+	if err := os.WriteFile(filepath.Join(dir, "pkg", "pkg.go"), []byte(cacheFixtureGood), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	res3, err := analysis.LintDetailCached(dir, analyzers, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res3.CacheHit {
+		t.Error("run after file edit hit the cache")
+	}
+	if len(res3.Diagnostics) != 0 {
+		t.Fatalf("post-fix diagnostics = %v, want none", res3.Diagnostics)
+	}
+
+	// Changing the analyzer set invalidates even with unchanged files.
+	res4, err := analysis.LintDetailCached(dir, []*analysis.Analyzer{analysis.ErrDrop}, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res4.CacheHit {
+		t.Error("run with a different analyzer set hit the cache")
+	}
+
+	// And back to the full set is again a miss (the cache holds one entry).
+	res5, err := analysis.LintDetailCached(dir, analyzers, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res5.CacheHit {
+		t.Error("analyzer-set flip-flop hit a stale entry")
+	}
+
+	// A corrupt cache file degrades to a cold run, not an error.
+	if err := os.WriteFile(filepath.Join(dir, analysis.CacheFile), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	res6, err := analysis.LintDetailCached(dir, analyzers, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res6.CacheHit {
+		t.Error("corrupt cache file reported a hit")
+	}
+}

@@ -24,54 +24,18 @@ var mustConsumeMethods = map[string]bool{
 	"Pin":         true,
 }
 
-// droppedErrorExempt lists error-returning calls whose drop is idiomatic
-// and harmless: the fmt printers (their error is the terminal's problem)
-// and the infallible strings.Builder / bytes.Buffer writers.
-func droppedErrorExempt(pass *Pass, call *ast.CallExpr) bool {
-	sel, ok := call.Fun.(*ast.SelectorExpr)
-	if !ok {
-		return false
-	}
-	obj := pass.ObjectOf(sel.Sel)
-	if obj == nil {
-		return false
-	}
-	if pkg := obj.Pkg(); pkg != nil && pkg.Path() == "fmt" {
-		switch obj.Name() {
-		case "Print", "Printf", "Println", "Fprint", "Fprintf", "Fprintln":
-			return true
-		}
-	}
-	if fn, ok := obj.(*types.Func); ok {
-		if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
-			t := recv.Type()
-			if ptr, ok := t.(*types.Pointer); ok {
-				t = ptr.Elem()
-			}
-			if named, ok := t.(*types.Named); ok && named.Obj().Pkg() != nil {
-				switch named.Obj().Pkg().Path() + "." + named.Obj().Name() {
-				case "strings.Builder", "bytes.Buffer":
-					return true
-				}
-			}
-		}
-	}
-	return false
-}
-
-// CloseCheck flags calls whose results are silently dropped in statement
-// position: any call returning an error (a failed Exec/Close/Scale that
-// nobody observes), resource accessors (Borrow/Get/TryGet/Peek) whose
-// dropped return value leaks capacity or loses a message, and span starters
-// (StartSpan/StartLinked) whose dropped handle wedges the tracer's open-span
-// stack. An explicit `_ = f()` discard is allowed — it is visible and
-// greppable — as are deferred calls, the fmt printers and infallible
-// Builder/Buffer writes.
+// CloseCheck flags resource accessors (Borrow/Get/TryGet/Peek), span
+// starters (StartSpan/StartLinked) and snapshot pins (Pin) whose results are
+// silently dropped in statement position: the returned handle is the only
+// way to release the capacity, end the span or unpin the version chain. An
+// explicit `_ = f()` discard is allowed — it is visible and greppable.
+// Dropped plain error results are errdrop's job (call-graph-aware, so
+// always-nil wrappers are exempt there).
 var CloseCheck = &Analyzer{
 	Name: "closecheck",
-	Doc: "flag dropped error results and discarded sim-resource handles " +
-		"(Borrow/Get/TryGet/Peek, StartSpan/StartLinked, Pin) that would silently " +
-		"leak capacity, wedge the tracer, or pin MVCC version chains",
+	Doc: "flag discarded sim-resource handles (Borrow/Get/TryGet/Peek, " +
+		"StartSpan/StartLinked, Pin) that would silently leak capacity, wedge the " +
+		"tracer, or pin MVCC version chains",
 	Run: runCloseCheck,
 }
 
@@ -85,34 +49,12 @@ func runCloseCheck(pass *Pass) error {
 		if !ok {
 			return true
 		}
-		if callReturnsError(pass, call) && !droppedErrorExempt(pass, call) {
-			pass.Reportf(call.Pos(), "result of %s dropped: the error is silently ignored; handle it or discard explicitly with _ =", calleeName(call))
-			return true
-		}
 		if name, ok := calleeMethodName(call); ok && mustConsumeMethods[name] && callHasResults(pass, call) {
 			pass.Reportf(call.Pos(), "result of %s dropped: the returned resource/message is lost, leaking capacity; consume it or discard explicitly with _ =", calleeName(call))
 		}
 		return true
 	})
 	return nil
-}
-
-// callReturnsError reports whether any result of the call has type error.
-func callReturnsError(pass *Pass, call *ast.CallExpr) bool {
-	t := pass.TypeOf(call)
-	switch t := t.(type) {
-	case nil:
-		return false
-	case *types.Tuple:
-		for i := 0; i < t.Len(); i++ {
-			if isErrorType(t.At(i).Type()) {
-				return true
-			}
-		}
-		return false
-	default:
-		return isErrorType(t)
-	}
 }
 
 func callHasResults(pass *Pass, call *ast.CallExpr) bool {
@@ -124,15 +66,6 @@ func callHasResults(pass *Pass, call *ast.CallExpr) bool {
 	default:
 		return true
 	}
-}
-
-func isErrorType(t types.Type) bool {
-	named, ok := t.(*types.Named)
-	if !ok {
-		return false
-	}
-	obj := named.Obj()
-	return obj.Name() == "error" && obj.Pkg() == nil
 }
 
 func calleeMethodName(call *ast.CallExpr) (string, bool) {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"go/ast"
 	"go/token"
+	"sort"
 	"strings"
 )
 
@@ -11,8 +12,8 @@ import (
 //
 //	//cloudrepl:allow-<analyzer> <reason>
 //
-// where <analyzer> names one of the registered linters (simtime, simrand,
-// rawgo, maporder, closecheck) and <reason> is a mandatory free-text
+// where <analyzer> names one of the registered linters (see All) and
+// <reason> is a mandatory free-text
 // justification. A directive written as a declaration's doc comment covers
 // the entire declaration; anywhere else it covers its own line and the
 // line immediately below (so it can trail a statement or sit above one).
@@ -66,10 +67,15 @@ func ParseDirectives(pkg *Package, known map[string]bool) ([]*Directive, []Diagn
 				name, reason, _ := strings.Cut(rest, " ")
 				reason = strings.TrimSpace(reason)
 				if !known[name] {
+					names := make([]string, 0, len(known))
+					for k := range known {
+						names = append(names, k)
+					}
+					sort.Strings(names)
 					bad = append(bad, Diagnostic{
 						Analyzer: "directive",
 						Pos:      pos,
-						Message:  fmt.Sprintf("unknown allow directive %q (known: simtime, simrand, rawgo, maporder, closecheck)", name),
+						Message:  fmt.Sprintf("unknown allow directive %q (known: %s)", name, strings.Join(names, ", ")),
 					})
 					continue
 				}

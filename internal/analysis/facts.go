@@ -1,0 +1,97 @@
+package analysis
+
+import (
+	"fmt"
+	"go/types"
+	"reflect"
+)
+
+// Fact is a typed datum an analyzer attaches to a function, variable or
+// package so that analysis of downstream packages can reuse it without
+// re-inspecting the dependency's source — the x/tools fact model, scoped to
+// one in-memory Program (facts never serialize; the whole module is analyzed
+// in a single process).
+//
+// Each analyzer owns its own fact namespace: two analyzers may export
+// different facts on the same object without colliding. Within one analyzer,
+// at most one fact of each concrete type may be attached per object; a
+// second ExportObjectFact of the same type overwrites the first.
+//
+// Fact types must be pointers to structs and implement AFact, which exists
+// only to make accidental exports of non-fact values a compile error.
+type Fact interface{ AFact() }
+
+// factStore holds every fact exported during a Program run, keyed by
+// (analyzer, object, concrete fact type) for object facts and by
+// (analyzer, package, concrete fact type) for package facts.
+type factStore struct {
+	obj map[objFactKey]Fact
+	pkg map[pkgFactKey]Fact
+}
+
+type objFactKey struct {
+	analyzer string
+	obj      types.Object
+	t        reflect.Type
+}
+
+type pkgFactKey struct {
+	analyzer string
+	pkg      *types.Package
+	t        reflect.Type
+}
+
+func newFactStore() *factStore {
+	return &factStore{obj: map[objFactKey]Fact{}, pkg: map[pkgFactKey]Fact{}}
+}
+
+func factType(f Fact) reflect.Type {
+	t := reflect.TypeOf(f)
+	if t == nil || t.Kind() != reflect.Pointer {
+		panic(fmt.Sprintf("analysis: fact %T must be a pointer", f))
+	}
+	return t
+}
+
+// ExportObjectFact attaches fact to obj under the pass's analyzer. obj is
+// usually a *types.Func (a summary of the function's behavior) or a
+// *types.Var; it must belong to some package of the Program, though this is
+// not enforced — facts on foreign objects are simply never imported.
+func (p *Pass) ExportObjectFact(obj types.Object, fact Fact) {
+	if obj == nil {
+		panic("analysis: ExportObjectFact on nil object")
+	}
+	p.facts.obj[objFactKey{p.Analyzer.Name, obj, factType(fact)}] = fact
+}
+
+// ImportObjectFact copies the fact of ptr's concrete type previously
+// exported on obj by this pass's analyzer into *ptr, reporting whether one
+// was found. Packages are analyzed in dependency order, so facts exported by
+// a dependency are always visible here.
+func (p *Pass) ImportObjectFact(obj types.Object, ptr Fact) bool {
+	if obj == nil {
+		return false
+	}
+	f, ok := p.facts.obj[objFactKey{p.Analyzer.Name, obj, factType(ptr)}]
+	if !ok {
+		return false
+	}
+	reflect.ValueOf(ptr).Elem().Set(reflect.ValueOf(f).Elem())
+	return true
+}
+
+// ExportPackageFact attaches fact to the package under analysis.
+func (p *Pass) ExportPackageFact(fact Fact) {
+	p.facts.pkg[pkgFactKey{p.Analyzer.Name, p.Pkg, factType(fact)}] = fact
+}
+
+// ImportPackageFact copies the fact of ptr's concrete type exported on pkg
+// by this pass's analyzer into *ptr, reporting whether one was found.
+func (p *Pass) ImportPackageFact(pkg *types.Package, ptr Fact) bool {
+	f, ok := p.facts.pkg[pkgFactKey{p.Analyzer.Name, pkg, factType(ptr)}]
+	if !ok {
+		return false
+	}
+	reflect.ValueOf(ptr).Elem().Set(reflect.ValueOf(f).Elem())
+	return true
+}

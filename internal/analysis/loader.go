@@ -3,6 +3,7 @@ package analysis
 import (
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -39,6 +40,11 @@ type Loader struct {
 	std     types.ImporterFrom
 	pkgs    map[string]*Package // by import path
 	loading map[string]bool     // import-cycle detection
+	// loadOrder records packages in load-completion order. A package's
+	// module-internal imports finish loading before its own type check
+	// returns, so this is a topological order (dependencies first) — the
+	// order NewProgram hands to fact-propagating analyzers.
+	loadOrder []*Package
 }
 
 // NewLoader creates a loader rooted at moduleDir. The module path is read
@@ -200,6 +206,15 @@ func (l *Loader) loadDir(dir string) (*Package, error) {
 		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
 			continue
 		}
+		// Honor build constraints (//go:build lines and GOOS/GOARCH file
+		// suffixes) the same way the go tool does, so a tag-excluded file —
+		// a //go:build ignore generator, a windows-only stub — neither
+		// parses into the package nor breaks its type check.
+		if match, err := build.Default.MatchFile(dir, name); err != nil {
+			return nil, fmt.Errorf("match %s: %w", filepath.Join(dir, name), err)
+		} else if !match {
+			continue
+		}
 		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
 		if err != nil {
 			return nil, err
@@ -224,6 +239,7 @@ func (l *Loader) loadDir(dir string) (*Package, error) {
 	}
 	pkg := &Package{Path: path, Dir: dir, Fset: l.fset, Files: files, Types: tpkg, Info: info}
 	l.pkgs[path] = pkg
+	l.loadOrder = append(l.loadOrder, pkg)
 	return pkg, nil
 }
 

@@ -1,0 +1,113 @@
+package analysis_test
+
+import (
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+
+	"cloudrepl/internal/analysis"
+)
+
+// writeModule lays out a temp module from a map of relative path -> content.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	files["go.mod"] = "module loaderdemo\n\ngo 1.22\n"
+	for rel, content := range files {
+		path := filepath.Join(dir, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func loadAll(t *testing.T, dir string) ([]*analysis.Package, error) {
+	t.Helper()
+	l, err := analysis.NewLoader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l.Load("./...")
+}
+
+// TestLoaderSkipsBuildTagExcludedFiles: a //go:build ignore file and a
+// wrong-GOOS file may both contain code that cannot compile; the loader must
+// neither parse them into the package nor let them break its type check.
+func TestLoaderSkipsBuildTagExcludedFiles(t *testing.T) {
+	otherOS := "windows"
+	if runtime.GOOS == "windows" {
+		otherOS = "linux"
+	}
+	dir := writeModule(t, map[string]string{
+		"pkg/pkg.go":                "package pkg\n\nfunc Live() int { return 1 }\n",
+		"pkg/gen.go":                "//go:build ignore\n\npackage main\n\nfunc main() { callSomethingUndefined() }\n",
+		"pkg/os_" + otherOS + ".go": "package pkg\n\nfunc osOnly() { alsoUndefined() }\n",
+	})
+	pkgs, err := loadAll(t, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages, want 1", len(pkgs))
+	}
+	if n := len(pkgs[0].Files); n != 1 {
+		t.Fatalf("package has %d files, want only pkg.go", n)
+	}
+}
+
+// TestLoaderExcludesTestFiles: _test.go files are drivers outside the
+// determinism contract; a broken or violating test file must not affect the
+// load.
+func TestLoaderExcludesTestFiles(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"pkg/pkg.go":      "package pkg\n\nfunc Live() int { return 1 }\n",
+		"pkg/pkg_test.go": "package pkg\n\nthis is not even Go\n",
+	})
+	pkgs, err := loadAll(t, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 || len(pkgs[0].Files) != 1 {
+		t.Fatalf("got %d packages (files=%d), want 1 package with 1 file", len(pkgs), len(pkgs[0].Files))
+	}
+}
+
+// TestLoaderReportsTypeCheckFailure: a package that does not type-check is an
+// error the caller can print, never a panic, and the message names the
+// package.
+func TestLoaderReportsTypeCheckFailure(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"broken/broken.go": "package broken\n\nfunc f() int { return undefinedIdent }\n",
+	})
+	_, err := loadAll(t, dir)
+	if err == nil {
+		t.Fatal("loading a broken package succeeded, want error")
+	}
+	if !strings.Contains(err.Error(), "typecheck loaderdemo/broken") {
+		t.Fatalf("error %q does not identify the failing package", err)
+	}
+}
+
+// TestLoaderSkipsAllExcludedDirectory: a directory whose every .go file is
+// tag-excluded contributes no package and no error.
+func TestLoaderSkipsAllExcludedDirectory(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"pkg/pkg.go":      "package pkg\n\nfunc Live() int { return 1 }\n",
+		"tools/gen.go":    "//go:build ignore\n\npackage main\n\nfunc main() {}\n",
+		"tools/gen2.go":   "//go:build ignore\n\npackage main\n",
+		"hidden/.keep.go": "", // hidden files never reach the parser
+	})
+	pkgs, err := loadAll(t, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 || pkgs[0].Path != "loaderdemo/pkg" {
+		t.Fatalf("packages = %v, want just loaderdemo/pkg", pkgs)
+	}
+}

@@ -1,0 +1,639 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockOrder orders every static acquisition the sim kernel can park a
+// process on — Resource.Acquire/Use slots, Pool.Borrow slots, Signal.Wait
+// and Queue.Get parks — into one global acquisition graph and reports
+// potential wait-for cycles at compile time, complementing the runtime
+// deadlock detector (sim.Env.Shutdown's wait-for dump) with coverage of
+// schedules a given seed never exercises.
+//
+// Graph nodes are static lock identities: a struct field, package-level var
+// or local variable holding a *sim.Resource, *sim.Signal, *sim.Queue or
+// *pool.Pool. Edges mean "may be needed while the other is held":
+//
+//   - u → v when code acquires or parks on v while holding u;
+//   - s → u when code acquires u at any point before broadcasting signal s
+//     or putting to queue s (for s to fire, u must have been acquirable).
+//
+// A cycle is a potential deadlock. Per-function effects propagate through
+// calls: same-package callees are analyzed on demand, cross-package callees
+// through AcquiresFact (exported in dependency order), and interface calls
+// are widened through the program call graph. Known blind spots: locks
+// reached through function parameters (their identity is dynamic), function
+// values the graph cannot resolve, and implementer packages analyzed after
+// their callers.
+var LockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc: "order static sim-resource/pool/signal/queue acquisitions into a global " +
+		"graph and report potential wait-for cycles (compile-time deadlock check)",
+	Run:    runLockOrder,
+	Finish: finishLockOrder,
+}
+
+// AcquiresFact summarizes a function's kernel-blocking effects for callers
+// in downstream packages: Targets are locks the function may acquire or
+// park on (a caller holding H gains edges H → t), Ordered are locks it
+// actually acquires (they precede any later broadcast in the caller), and
+// Wakes are signals/queues it broadcasts or puts to.
+type AcquiresFact struct {
+	Targets []types.Object
+	Ordered []types.Object
+	Wakes   []types.Object
+}
+
+// AFact marks AcquiresFact as a Fact.
+func (*AcquiresFact) AFact() {}
+
+// LockEdge is one acquisition-order edge with its witness site.
+type LockEdge struct {
+	From, To types.Object
+	Pos      token.Pos
+	// Why describes the edge for diagnostics ("acquired while holding" or
+	// "acquired before waking").
+	Why string
+}
+
+// lockEdgesFact carries a package's contribution to the global acquisition
+// graph from the per-package phase to Finish.
+type lockEdgesFact struct{ Edges []LockEdge }
+
+func (*lockEdgesFact) AFact() {}
+
+// lockOp classifies one kernel primitive call.
+type lockOp int
+
+const (
+	opNone    lockOp = iota
+	opAcquire        // Resource.Acquire/AcquireHigh, Pool.Borrow: held until release
+	opUse            // Resource.Use/UseHigh: acquire+release inside the call
+	opPark           // Signal.Wait/WaitTimeout, Queue.Get: blocks, holds nothing
+	opRelease        // Resource.Release, Pool.Return/Discard
+	opWake           // Signal.Broadcast, Queue.Put
+)
+
+// classifyLockCall recognizes sim/pool primitive methods.
+func classifyLockCall(fn *types.Func) lockOp {
+	switch {
+	case isMethodOf(fn, "internal/sim", "Resource"):
+		switch fn.Name() {
+		case "Acquire", "AcquireHigh":
+			return opAcquire
+		case "Use", "UseHigh":
+			return opUse
+		case "Release":
+			return opRelease
+		}
+	case isMethodOf(fn, "internal/sim", "Signal"):
+		switch fn.Name() {
+		case "Wait", "WaitTimeout":
+			return opPark
+		case "Broadcast":
+			return opWake
+		}
+	case isMethodOf(fn, "internal/sim", "Queue"):
+		switch fn.Name() {
+		case "Get":
+			return opPark
+		case "Put":
+			return opWake
+		}
+	case isMethodOf(fn, "internal/pool", "Pool"):
+		switch fn.Name() {
+		case "Borrow":
+			return opAcquire
+		case "Return", "Discard":
+			return opRelease
+		}
+	}
+	return opNone
+}
+
+// runLockOrder walks every function of the package once, accumulating
+// acquisition edges (exported as a package fact for Finish) and per-function
+// summaries (exported as object facts for downstream packages).
+func runLockOrder(pass *Pass) error {
+	lo := &lockOrderPass{
+		pass:      pass,
+		summaries: map[*types.Func]*AcquiresFact{},
+		visiting:  map[*types.Func]bool{},
+		decls:     map[*types.Func]*ast.FuncDecl{},
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				if fn, ok := pass.Info.Defs[fd.Name].(*types.Func); ok {
+					lo.decls[fn] = fd
+				}
+			}
+		}
+	}
+	// Deterministic order: declaration order within the package.
+	var fns []*types.Func
+	for fn := range lo.decls {
+		fns = append(fns, fn)
+	}
+	sort.Slice(fns, func(i, j int) bool { return fns[i].Pos() < fns[j].Pos() })
+	for _, fn := range fns {
+		sum := lo.summarize(fn)
+		if len(sum.Targets) > 0 || len(sum.Wakes) > 0 {
+			pass.ExportObjectFact(fn, sum)
+		}
+	}
+	if len(lo.edges) > 0 {
+		pass.ExportPackageFact(&lockEdgesFact{Edges: lo.edges})
+	}
+	return nil
+}
+
+type lockOrderPass struct {
+	pass      *Pass
+	decls     map[*types.Func]*ast.FuncDecl
+	summaries map[*types.Func]*AcquiresFact
+	visiting  map[*types.Func]bool
+	edges     []LockEdge
+}
+
+// summarize computes fn's blocking summary, walking its body (and emitting
+// its acquisition edges) on first use. Recursion through a cycle of
+// same-package functions is cut with an empty summary.
+func (lo *lockOrderPass) summarize(fn *types.Func) *AcquiresFact {
+	fn = fn.Origin()
+	if s, ok := lo.summaries[fn]; ok {
+		return s
+	}
+	if lo.visiting[fn] {
+		return &AcquiresFact{}
+	}
+	fd, local := lo.decls[fn]
+	if !local {
+		var fact AcquiresFact
+		if lo.pass.ImportObjectFact(fn, &fact) {
+			return &fact
+		}
+		return &AcquiresFact{}
+	}
+	lo.visiting[fn] = true
+	w := &lockWalker{
+		lo:     lo,
+		params: map[types.Object]bool{},
+		held:   map[types.Object]token.Pos{},
+		sofar:  map[types.Object]bool{},
+		sum:    &AcquiresFact{},
+	}
+	sig := fn.Type().(*types.Signature)
+	for i := 0; i < sig.Params().Len(); i++ {
+		w.params[sig.Params().At(i)] = true
+	}
+	if recv := sig.Recv(); recv != nil {
+		w.params[recv] = true
+	}
+	w.walkStmts(fd.Body.List)
+	delete(lo.visiting, fn)
+	sort.Slice(w.sum.Targets, func(i, j int) bool { return w.sum.Targets[i].Pos() < w.sum.Targets[j].Pos() })
+	sort.Slice(w.sum.Ordered, func(i, j int) bool { return w.sum.Ordered[i].Pos() < w.sum.Ordered[j].Pos() })
+	sort.Slice(w.sum.Wakes, func(i, j int) bool { return w.sum.Wakes[i].Pos() < w.sum.Wakes[j].Pos() })
+	lo.summaries[fn] = w.sum
+	return w.sum
+}
+
+// lockWalker tracks the held-lock set through one function body in
+// statement order. Branches are explored with a copy of the held set and
+// merged by union (an acquisition on either arm is assumed possible after
+// the branch); loop bodies are walked once with the same union rule.
+type lockWalker struct {
+	lo     *lockOrderPass
+	params map[types.Object]bool
+	held   map[types.Object]token.Pos
+	sofar  map[types.Object]bool // acquired at any earlier point
+	sum    *AcquiresFact
+}
+
+func (w *lockWalker) walkStmts(stmts []ast.Stmt) {
+	for _, s := range stmts {
+		w.walkStmt(s)
+	}
+}
+
+func (w *lockWalker) walkStmt(s ast.Stmt) {
+	switch st := s.(type) {
+	case *ast.BlockStmt:
+		w.walkStmts(st.List)
+	case *ast.IfStmt:
+		if st.Init != nil {
+			w.walkStmt(st.Init)
+		}
+		w.walkExpr(st.Cond)
+		before := copyHeld(w.held)
+		w.walkStmt(st.Body)
+		afterThen := w.held
+		w.held = before
+		if st.Else != nil {
+			w.walkStmt(st.Else)
+		}
+		w.held = unionHeld(afterThen, w.held)
+	case *ast.ForStmt:
+		if st.Init != nil {
+			w.walkStmt(st.Init)
+		}
+		if st.Cond != nil {
+			w.walkExpr(st.Cond)
+		}
+		before := copyHeld(w.held)
+		w.walkStmt(st.Body)
+		if st.Post != nil {
+			w.walkStmt(st.Post)
+		}
+		w.held = unionHeld(before, w.held)
+	case *ast.RangeStmt:
+		w.walkExpr(st.X)
+		before := copyHeld(w.held)
+		w.walkStmt(st.Body)
+		w.held = unionHeld(before, w.held)
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			w.walkStmt(st.Init)
+		}
+		if st.Tag != nil {
+			w.walkExpr(st.Tag)
+		}
+		w.walkClauses(st.Body)
+	case *ast.TypeSwitchStmt:
+		if st.Init != nil {
+			w.walkStmt(st.Init)
+		}
+		w.walkClauses(st.Body)
+	case *ast.SelectStmt:
+		w.walkClauses(st.Body)
+	case *ast.DeferStmt:
+		// A deferred Release/Return runs at exit: the lock stays held for
+		// the rest of the function, which is exactly what not processing
+		// the release models. Other deferred calls are treated as ordinary
+		// calls (conservative: their acquisitions may happen under every
+		// lock held at exit, approximated by the set held here).
+		if fn := staticCallee(w.lo.pass, st.Call); fn != nil {
+			if op := classifyLockCall(fn); op == opRelease {
+				return
+			}
+		}
+		w.walkExpr(st.Call)
+	default:
+		// Every other statement: visit contained expressions in source
+		// order, handling the calls they contain.
+		ast.Inspect(s, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				// A literal's body runs when it is invoked, possibly on a
+				// different proc; its effects are not this function's.
+				// (Immediately-invoked literals are a documented blind spot.)
+				return false
+			case *ast.CallExpr:
+				w.handleCall(n)
+			}
+			return true
+		})
+	}
+}
+
+func (w *lockWalker) walkClauses(body *ast.BlockStmt) {
+	before := copyHeld(w.held)
+	merged := copyHeld(w.held)
+	for _, clause := range body.List {
+		w.held = copyHeld(before)
+		switch c := clause.(type) {
+		case *ast.CaseClause:
+			for _, e := range c.List {
+				w.walkExpr(e)
+			}
+			w.walkStmts(c.Body)
+		case *ast.CommClause:
+			if c.Comm != nil {
+				w.walkStmt(c.Comm)
+			}
+			w.walkStmts(c.Body)
+		}
+		merged = unionHeld(merged, w.held)
+	}
+	w.held = merged
+}
+
+func (w *lockWalker) walkExpr(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			w.handleCall(n)
+		}
+		return true
+	})
+}
+
+// handleCall is the core transfer function: primitive kernel calls update
+// the held set and emit edges; other calls splice in the callee's summary.
+func (w *lockWalker) handleCall(call *ast.CallExpr) {
+	pass := w.lo.pass
+	fn := staticCallee(pass, call)
+	if fn != nil {
+		if op := classifyLockCall(fn); op != opNone {
+			sel, _ := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if sel == nil {
+				return
+			}
+			obj := w.lockObjectOf(sel.X)
+			if obj == nil {
+				return // dynamic identity (parameter, expression): blind spot
+			}
+			w.applyOp(op, obj, call.Pos())
+			return
+		}
+	}
+	// Non-primitive call: splice the callee's summary. Interface calls are
+	// widened to every module implementer through the call graph.
+	for _, callee := range w.calleesOf(call) {
+		sum := w.lo.summarize(callee)
+		for _, t := range sum.Targets {
+			w.edgeFromHeld(t, call.Pos(), "acquired inside "+shortFuncName(callee)+" while holding")
+			w.addTarget(t)
+		}
+		for _, o := range sum.Ordered {
+			w.sofar[o] = true
+			w.addOrdered(o)
+		}
+		for _, s := range sum.Wakes {
+			w.wakeEdges(s, call.Pos())
+			w.addWake(s)
+		}
+	}
+}
+
+// calleesOf resolves a non-primitive call to declared functions: the static
+// callee, or every implementer of an interface method.
+func (w *lockWalker) calleesOf(call *ast.CallExpr) []*types.Func {
+	pass := w.lo.pass
+	if fn := staticCallee(pass, call); fn != nil {
+		return []*types.Func{fn}
+	}
+	if pass.Prog == nil {
+		return nil
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if s, ok := pass.Info.Selections[sel]; ok && types.IsInterface(s.Recv()) {
+			// The call graph already widened this site to every module
+			// implementer; collect the nodes whose incoming dynamic edge
+			// originates here.
+			cg := pass.Prog.CallGraph()
+			var out []*types.Func
+			for _, n := range cg.Nodes {
+				if n.Fn == nil {
+					continue
+				}
+				for _, e := range n.In {
+					if e.Dynamic && e.Pos == call.Pos() {
+						out = append(out, n.Fn)
+						break
+					}
+				}
+			}
+			return out
+		}
+	}
+	return nil
+}
+
+func (w *lockWalker) applyOp(op lockOp, obj types.Object, pos token.Pos) {
+	switch op {
+	case opAcquire:
+		w.edgeFromHeld(obj, pos, "acquired while holding")
+		w.held[obj] = pos
+		w.sofar[obj] = true
+		w.addTarget(obj)
+		w.addOrdered(obj)
+	case opUse:
+		w.edgeFromHeld(obj, pos, "used (acquire+release) while holding")
+		w.sofar[obj] = true
+		w.addTarget(obj)
+		w.addOrdered(obj)
+	case opPark:
+		w.edgeFromHeld(obj, pos, "parked on while holding")
+		w.addTarget(obj)
+	case opRelease:
+		delete(w.held, obj)
+	case opWake:
+		w.wakeEdges(obj, pos)
+		w.addWake(obj)
+	}
+}
+
+// edgeFromHeld records to-edges from every currently-held lock to target.
+func (w *lockWalker) edgeFromHeld(target types.Object, pos token.Pos, why string) {
+	// Re-acquiring an already-held slot yields a self-edge, reported as a
+	// cycle of length one by Finish. Sorted iteration keeps the edge list —
+	// and therefore the witness each cycle reports — deterministic.
+	for _, h := range sortedObjs(w.held) {
+		w.lo.edges = append(w.lo.edges, LockEdge{From: h, To: target, Pos: pos, Why: why})
+	}
+}
+
+// wakeEdges records s → u for every lock acquired at some earlier point in
+// this function: for the signal/queue to fire, those locks must have been
+// acquirable first.
+func (w *lockWalker) wakeEdges(s types.Object, pos token.Pos) {
+	for _, u := range sortedObjs(w.sofar) {
+		if u == s {
+			continue
+		}
+		w.lo.edges = append(w.lo.edges, LockEdge{From: s, To: u, Pos: pos, Why: "woken only after acquiring"})
+	}
+}
+
+// sortedObjs returns the keys of an object-keyed set ordered by declaration
+// position (maps iterate randomly; edge order must not).
+func sortedObjs[V any](m map[types.Object]V) []types.Object {
+	out := make([]types.Object, 0, len(m))
+	for o := range m {
+		out = append(out, o)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos() < out[j].Pos() })
+	return out
+}
+
+func (w *lockWalker) addTarget(o types.Object)  { w.sum.Targets = appendUniqueObj(w.sum.Targets, o) }
+func (w *lockWalker) addOrdered(o types.Object) { w.sum.Ordered = appendUniqueObj(w.sum.Ordered, o) }
+func (w *lockWalker) addWake(o types.Object)    { w.sum.Wakes = appendUniqueObj(w.sum.Wakes, o) }
+
+func appendUniqueObj(s []types.Object, o types.Object) []types.Object {
+	for _, x := range s {
+		if x == o {
+			return s
+		}
+	}
+	return append(s, o)
+}
+
+// lockObjectOf resolves a receiver expression to the static identity of the
+// lock it denotes: a struct field, a package-level var, or a function-local
+// variable (typically assigned from NewResource/NewSignal/NewQueue). It
+// returns nil for parameters and receivers — their identity depends on the
+// caller — and for expressions it cannot name (map lookups, call results).
+func (w *lockWalker) lockObjectOf(e ast.Expr) types.Object {
+	pass := w.lo.pass
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := pass.ObjectOf(x)
+		if v, ok := obj.(*types.Var); ok && !w.params[v] {
+			return v
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := pass.Info.Selections[x]; ok && sel.Kind() == types.FieldVal {
+			return sel.Obj()
+		}
+		// Package-qualified var: pkg.V.
+		if v, ok := pass.Info.Uses[x.Sel].(*types.Var); ok {
+			return v
+		}
+	case *ast.IndexExpr:
+		// locks[i]: identify by the collection.
+		return w.lockObjectOf(x.X)
+	}
+	return nil
+}
+
+func copyHeld(m map[types.Object]token.Pos) map[types.Object]token.Pos {
+	out := make(map[types.Object]token.Pos, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func unionHeld(a, b map[types.Object]token.Pos) map[types.Object]token.Pos {
+	out := copyHeld(a)
+	//cloudrepl:allow-maporder set-union into a map is insensitive to visit order
+	for k, v := range b {
+		if _, ok := out[k]; !ok {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// finishLockOrder merges every package's edges and reports each distinct
+// potential cycle once, at its witness edge.
+func finishLockOrder(fp *FinishPass) error {
+	type adj struct {
+		to   types.Object
+		edge LockEdge
+	}
+	succ := map[types.Object][]adj{}
+	var nodes []types.Object
+	seenNode := map[types.Object]bool{}
+	addNode := func(o types.Object) {
+		if !seenNode[o] {
+			seenNode[o] = true
+			nodes = append(nodes, o)
+		}
+	}
+	for _, pkg := range fp.Prog.Pkgs {
+		var fact lockEdgesFact
+		if !fp.importPackageFact(pkg.Types, &fact) {
+			continue
+		}
+		for _, e := range fact.Edges {
+			addNode(e.From)
+			addNode(e.To)
+			dup := false
+			for _, a := range succ[e.From] {
+				if a.to == e.To {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				succ[e.From] = append(succ[e.From], adj{to: e.To, edge: e})
+			}
+		}
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].Pos() < nodes[j].Pos() })
+	//cloudrepl:allow-maporder each adjacency list is sorted in place independently; visit order cannot matter
+	for _, as := range succ {
+		sort.Slice(as, func(i, j int) bool { return as[i].to.Pos() < as[j].to.Pos() })
+	}
+
+	// DFS from each node in deterministic order; report each cycle once,
+	// keyed by its canonical node set.
+	reported := map[string]bool{}
+	var dfs func(path []types.Object, edges []LockEdge, cur types.Object)
+	onPath := map[types.Object]int{}
+	dfs = func(path []types.Object, edges []LockEdge, cur types.Object) {
+		for _, a := range succ[cur] {
+			if idx, ok := onPath[a.to]; ok {
+				// Cycle: path[idx..] + this edge.
+				cyc := append(append([]types.Object(nil), path[idx:]...), a.to)
+				cycEdges := append(append([]LockEdge(nil), edges[idx:]...), a.edge)
+				key := cycleKey(fp, cyc)
+				if !reported[key] {
+					reported[key] = true
+					reportCycle(fp, cyc, cycEdges)
+				}
+				continue
+			}
+			onPath[a.to] = len(path)
+			dfs(append(path, a.to), append(edges, a.edge), a.to)
+			delete(onPath, a.to)
+		}
+	}
+	for _, n := range nodes {
+		onPath = map[types.Object]int{n: 0}
+		dfs([]types.Object{n}, []LockEdge{{}}, n)
+	}
+	return nil
+}
+
+// importPackageFact is FinishPass access to package facts.
+func (f *FinishPass) importPackageFact(pkg *types.Package, ptr Fact) bool {
+	p := &Pass{Analyzer: f.Analyzer, facts: f.facts}
+	return p.ImportPackageFact(pkg, ptr)
+}
+
+func cycleKey(fp *FinishPass, cyc []types.Object) string {
+	labels := make([]string, 0, len(cyc)-1)
+	for _, o := range cyc[:len(cyc)-1] {
+		labels = append(labels, lockLabel(o))
+	}
+	sort.Strings(labels)
+	return strings.Join(labels, "→")
+}
+
+func reportCycle(fp *FinishPass, cyc []types.Object, edges []LockEdge) {
+	labels := make([]string, len(cyc))
+	for i, o := range cyc {
+		labels[i] = lockLabel(o)
+	}
+	witness := edges[len(edges)-1]
+	if len(cyc) == 2 && cyc[0] == cyc[1] {
+		fp.Reportf(witness.Pos, "lock self-cycle: %s %s itself; a second slot may never free (annotate //cloudrepl:allow-lockorder <reason> if capacity provably suffices)", labels[0], witness.Why)
+		return
+	}
+	fp.Reportf(witness.Pos, "potential lock-order cycle: %s; this edge (%s %s) closes the cycle — acquire in one global order or annotate //cloudrepl:allow-lockorder <reason>", strings.Join(labels, " → "), labels[len(labels)-1], witness.Why)
+}
+
+// lockLabel names a lock object for diagnostics: "pkg.name" with the
+// package of the object (fields get their declaring package).
+func lockLabel(o types.Object) string {
+	if o.Pkg() != nil {
+		return fmt.Sprintf("%s.%s", lastPathElem(o.Pkg().Path()), o.Name())
+	}
+	return o.Name()
+}

@@ -1,0 +1,47 @@
+// Fixture for call-graph unit tests (callgraph_test.go): one example of each
+// edge kind — a direct call, an interface call widened to its module
+// implementers, a sim-proc spawn, a parallel spawn through both a go
+// statement and a RunShards callback, and a function value passed to an
+// unknown consumer (reference edge).
+package callgraph
+
+import (
+	"cloudrepl/internal/experiment"
+	"cloudrepl/internal/sim"
+)
+
+type ticker interface{ Tick() }
+
+type fast struct{}
+
+func (fast) Tick() {}
+
+type slow struct{}
+
+func (slow) Tick() {}
+
+func helper() {}
+
+func direct() { helper() }
+
+func viaInterface(t ticker) { t.Tick() }
+
+func spawnProc(env *sim.Env) {
+	env.Go("worker", func(p *sim.Proc) {
+		helper()
+	})
+}
+
+func spawnGoroutine() {
+	go helper()
+}
+
+func spawnWorkers(specs []experiment.RunSpec) {
+	_, _ = experiment.RunShards(specs, 2, func(i int, res experiment.RunResult) {
+		helper()
+	})
+}
+
+func escape(sink func(func())) {
+	sink(helper) // unknown consumer: reference edge, not a call edge
+}

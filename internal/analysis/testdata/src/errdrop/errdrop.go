@@ -1,0 +1,85 @@
+// Fixture for the errdrop analyzer: error results dropped in statement
+// position, deferred, or launched on a goroutine are flagged, as are error
+// variables assigned from a call and never read. Wrappers whose error is
+// statically always nil are exempt — including wrappers in another package,
+// whose NilErrorFact arrives through the fact store rather than re-analysis.
+package errdrop
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"cloudrepl/internal/analysis/testdata/src/errdrop/nilwrap"
+)
+
+func fallible() error { return errors.New("boom") }
+
+func localNil() error { return nil }
+
+func localNilChain() error { return localNil() }
+
+func tupleNil() (int, error) { return 42, nil }
+
+func bad() {
+	fallible()                           // want `error result of fallible dropped: nobody observes the failure`
+	defer fallible()                     // want `deferred error result of fallible dropped`
+	go fallible()                        // want `goroutine error result of fallible dropped`
+	nilwrap.Fails()                      // want `error result of nilwrap\.Fails dropped`
+	func() error { return fallible() }() // want `error result of call dropped`
+}
+
+func deadStores() {
+	err := fallible() // want `error assigned to err is never read: the failure from fallible is silently dropped`
+	err = fallible()
+	if err != nil {
+		_ = err
+	}
+	v, err := tupleNil() // want `error assigned to err is never read: the failure from tupleNil`
+	_ = v
+}
+
+func okDrops() {
+	localNil()      // always-nil wrapper, same package: exempt
+	localNilChain() // nil-ness propagates through the local chain
+	nilwrap.Reset() // always-nil wrapper, other package: exempt via NilErrorFact
+	nilwrap.Chain() // fact-backed through one forwarding level
+	_ = fallible()  // explicit discard is visible and greppable
+	fmt.Println("printer errors are exempt")
+	var b strings.Builder
+	b.WriteString("infallible")
+	_ = b.String()
+}
+
+func okReads() error {
+	if err := fallible(); err != nil {
+		return err
+	}
+	err := fallible()
+	return err
+}
+
+func okLoop() {
+	var err error
+	for i := 0; i < 3; i++ {
+		if err != nil {
+			break // reads the previous iteration's store
+		}
+		err = fallible()
+	}
+}
+
+func branchesNotSequential(cond bool) error {
+	var err error
+	if cond {
+		err = fallible()
+	} else {
+		err = fallible()
+	}
+	return err // rescues both branch stores: different lists, no kill window
+}
+
+//cloudrepl:allow-errdrop fixture exercising the annotation escape hatch
+func allowed() {
+	fallible()
+}

@@ -1,0 +1,16 @@
+// Package nilwrap provides always-nil and fallible functions for the errdrop
+// fixture's cross-package fact test: errdrop exports NilErrorFact on Reset
+// and Chain while analyzing this package, and the importing fixture package
+// consumes those facts instead of re-deriving them.
+package nilwrap
+
+import "errors"
+
+// Reset never fails; dropping its error is provably harmless.
+func Reset() error { return nil }
+
+// Chain forwards Reset: still always nil, through one level of call.
+func Chain() error { return Reset() }
+
+// Fails returns a real error; dropping it loses a failure.
+func Fails() error { return errors.New("nilwrap: fails") }

@@ -1,0 +1,94 @@
+// Fixture for the lockorder analyzer: acquiring sim resources in opposite
+// orders in two code paths (directly or through a callee's summary) forms a
+// cycle in the global acquisition graph, as does waiting on a signal while
+// holding a resource the broadcaster must acquire first. Consistent global
+// order is not flagged, and the allow directive suppresses a known-benign
+// inversion.
+package lockorder
+
+import (
+	"time"
+
+	"cloudrepl/internal/sim"
+)
+
+type server struct {
+	cpu   *sim.Resource
+	disk  *sim.Resource
+	net   *sim.Resource
+	ready *sim.Signal
+	a     *sim.Resource
+	b     *sim.Resource
+}
+
+// cpuThenDisk holds cpu and acquires disk through a helper: the cpu→disk
+// edge comes from useDisk's summary, not a direct primitive call.
+func (s *server) cpuThenDisk(p *sim.Proc) {
+	s.cpu.Acquire(p)
+	s.useDisk(p)
+	s.cpu.Release()
+}
+
+func (s *server) useDisk(p *sim.Proc) {
+	s.disk.Acquire(p)
+	s.disk.Release()
+}
+
+// diskThenCpu closes the cycle: disk held, cpu acquired.
+func (s *server) diskThenCpu(p *sim.Proc) {
+	s.disk.Acquire(p)
+	s.cpu.Acquire(p) // want `potential lock-order cycle: lockorder\.cpu → lockorder\.disk → lockorder\.cpu`
+	s.cpu.Release()
+	s.disk.Release()
+}
+
+// waitHoldingNet parks on ready while holding net ...
+func (s *server) waitHoldingNet(p *sim.Proc) {
+	s.net.Acquire(p)
+	s.ready.Wait(p)
+	s.net.Release()
+}
+
+// ... and the only broadcaster must get through net first: a wait-for cycle
+// the runtime detector would only see on an unlucky schedule.
+func (s *server) wakeAfterNet(p *sim.Proc) {
+	s.net.Use(p, time.Millisecond)
+	s.ready.Broadcast() // want `potential lock-order cycle: lockorder\.net → lockorder\.ready → lockorder\.net`
+}
+
+// consistentOrder takes the same locks in the global order everywhere: no
+// cycle, no finding.
+func (s *server) consistentOrder(p *sim.Proc) {
+	s.cpu.Acquire(p)
+	s.disk.Acquire(p)
+	s.disk.Release()
+	s.cpu.Release()
+}
+
+// branchesMerge exercises the union merge: either arm may leave cpu held,
+// but both arms order cpu before disk, so no cycle appears.
+func (s *server) branchesMerge(p *sim.Proc, fast bool) {
+	if fast {
+		s.cpu.Acquire(p)
+	} else {
+		s.cpu.AcquireHigh(p)
+	}
+	s.disk.Use(p, time.Millisecond)
+	s.cpu.Release()
+}
+
+//cloudrepl:allow-lockorder drain path runs only at shutdown, after all b-holders exit
+func (s *server) allowedInversion(p *sim.Proc) {
+	s.b.Acquire(p)
+	s.a.Acquire(p)
+	s.a.Release()
+	s.b.Release()
+}
+
+// orderedPair is the other half of the suppressed inversion.
+func (s *server) orderedPair(p *sim.Proc) {
+	s.a.Acquire(p)
+	s.b.Acquire(p)
+	s.b.Release()
+	s.a.Release()
+}
