@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race race-shards bench bench-smoke bench-kernel shard-smoke consist-smoke determinism-smoke trace-smoke fuzz-seed figures examples vet fmt fmt-check lint lint-nocache clean check
+.PHONY: all build test race race-shards bench bench-smoke bench-kernel bench-plan plan-smoke shard-smoke consist-smoke determinism-smoke trace-smoke fuzz-seed figures examples vet fmt fmt-check lint lint-nocache clean check
 
 all: build vet lint test
 
@@ -13,7 +13,9 @@ check:
 	$(MAKE) trace-smoke
 	$(MAKE) shard-smoke
 	$(MAKE) consist-smoke
+	$(MAKE) plan-smoke
 	$(MAKE) bench-kernel
+	$(MAKE) bench-plan
 
 # The nine-analyzer lint suite — five package-local determinism linters
 # (simtime, simrand, rawgo, maporder, closecheck) plus four whole-program
@@ -93,6 +95,25 @@ consist-smoke:
 bench-kernel:
 	$(GO) run ./cmd/cloudrepl-bench -bench-kernel -short -q -json results -kernel-baseline bench/kernel_baseline.json
 
+# Planner-speed smoke: executor microbenchmarks on the four query shapes
+# (point read, index scan, hash join, grouped aggregate), each best-of-3,
+# with BENCH_planner.json written into results/ and a failure if any shape's
+# rate regresses >20% against the checked-in baseline. Refresh the baseline
+# deliberately with:
+#   cp results/BENCH_planner.json bench/planner_baseline.json
+bench-plan:
+	$(GO) run ./cmd/cloudrepl-bench -bench-plan -q -json results -plan-baseline bench/planner_baseline.json
+
+# Planner smoke: the EXPLAIN golden rendering and the cost-based plan
+# choices (join-algorithm flip) at unit scale, the A-PLAN regression test
+# (cost-based must beat naive end to end on the saturated grid), then the
+# A-PLAN ablation on the short protocol with BENCH_plan.json written into
+# results/.
+plan-smoke:
+	$(GO) test ./internal/sqlengine -run 'TestExplainGolden|TestPlannerJoinAlgorithmFlips' -count=1
+	$(GO) test ./internal/experiment -run TestAblationPlanCostBeatsNaive -count=1
+	$(GO) run ./cmd/cloudrepl-bench -ablation plan -short -q -json results
+
 # Determinism sanitizer: the A-PIPELINE corner grid twice with one seed,
 # byte-comparing the JSON; then the inject self-test, which must fail.
 determinism-smoke:
@@ -109,10 +130,11 @@ trace-smoke:
 	$(GO) run ./cmd/cloudrepl-bench -trace results/trace.json -q
 	$(GO) run ./cmd/cloudrepl-trace -check results/trace.json
 
-# One pass over the checked-in binlog fuzz corpus (no new input generation:
-# every testdata/fuzz seed must keep passing).
+# One pass over the checked-in fuzz corpora (no new input generation: every
+# seed must keep passing) — binlog wire decoding and SQL parsing (the
+# JOIN/GROUP BY/EXPLAIN grammar the planner PR added).
 fuzz-seed:
-	$(GO) test ./internal/binlog -run '^Fuzz' -count=1
+	$(GO) test ./internal/binlog ./internal/sqlengine -run '^Fuzz' -count=1
 
 # Regenerate every figure, table and ablation with the quick protocol.
 figures:

@@ -177,12 +177,20 @@ func BenchmarkSQLEnginePointSelect(b *testing.B) {
 	eng.CreateDatabase("d", false)
 	s := eng.NewSession("d")
 	s.Exec("CREATE TABLE t (id BIGINT PRIMARY KEY, v VARCHAR(32))")
+	ins, err := eng.Prepare("INSERT INTO t (id, v) VALUES (?, 'x')")
+	if err != nil {
+		b.Fatal(err)
+	}
 	for i := 0; i < 1000; i++ {
-		s.Exec("INSERT INTO t (id, v) VALUES (?, 'x')", sqlengine.NewInt(int64(i)))
+		ins.Run(s, sqlengine.NewInt(int64(i)))
+	}
+	point, err := eng.Prepare("SELECT v FROM t WHERE id = ?")
+	if err != nil {
+		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := s.Exec("SELECT v FROM t WHERE id = ?", sqlengine.NewInt(int64(i%1000))); err != nil {
+		if _, err := point.Run(s, sqlengine.NewInt(int64(i%1000))); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -194,9 +202,13 @@ func BenchmarkSQLEngineInsert(b *testing.B) {
 	eng.CreateDatabase("d", false)
 	s := eng.NewSession("d")
 	s.Exec("CREATE TABLE t (id BIGINT PRIMARY KEY, v VARCHAR(32), INDEX idx_v (v))")
+	ins, err := eng.Prepare("INSERT INTO t (id, v) VALUES (?, ?)")
+	if err != nil {
+		b.Fatal(err)
+	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := s.Exec("INSERT INTO t (id, v) VALUES (?, ?)",
+		if _, err := ins.Run(s,
 			sqlengine.NewInt(int64(i)), sqlengine.NewString("val")); err != nil {
 			b.Fatal(err)
 		}

@@ -34,7 +34,7 @@ import (
 func main() {
 	figs := flag.String("fig", "", "comma-separated figures to regenerate (2,3,4,5,6)")
 	rtt := flag.Bool("rtt", false, "measure the half-RTT table (T-RTT)")
-	ablations := flag.String("ablation", "", "comma-separated ablations (sync,lb,var,prio,arch,chaos,elastic,pipeline,shard,consist)")
+	ablations := flag.String("ablation", "", "comma-separated ablations (sync,lb,var,prio,arch,chaos,elastic,pipeline,shard,consist,plan)")
 	determinism := flag.Bool("determinism", false, "run the A-PIPELINE determinism sanitizer: the same seed twice, failing on any byte difference in the result JSON (with -short: corner grid + quick protocol)")
 	determinismInject := flag.Bool("determinism-inject", false, "deliberately salt the determinism check with global math/rand entropy; the check must then fail (self-test of the sanitizer)")
 	all := flag.Bool("all", false, "regenerate every figure, table and ablation")
@@ -46,6 +46,8 @@ func main() {
 	jsonDir := flag.String("json", "", "directory to write machine-readable BENCH_*.json files into")
 	benchKernel := flag.Bool("bench-kernel", false, "measure raw sim-kernel speed (events/sec, ns/event, allocs/event) and emit BENCH_kernel.json; also runs as part of -all")
 	kernelBaseline := flag.String("kernel-baseline", "", "checked-in kernel baseline JSON to gate against: fail when micro ns/event regresses >20% (update with: cp <jsondir>/BENCH_kernel.json bench/kernel_baseline.json)")
+	benchPlan := flag.Bool("bench-plan", false, "measure executor speed by query shape (point read, index scan, hash join, grouped aggregate) and emit BENCH_planner.json; also runs as part of -all")
+	planBaseline := flag.String("plan-baseline", "", "checked-in planner baseline JSON to gate against: fail when any shape's rate regresses >20% (update with: cp <jsondir>/BENCH_planner.json bench/planner_baseline.json)")
 	quiet := flag.Bool("q", false, "suppress per-run progress lines")
 	gogc := flag.Int("gogc", 300, "GC target percentage for the bench process (simulation runs allocate in bursts and retain little, so a larger heap-growth target trades memory for wall-clock; 0 leaves the runtime default)")
 	flag.Parse()
@@ -69,12 +71,15 @@ func main() {
 		want["rtt"] = true
 	}
 	if *all {
-		for _, k := range []string{"fig2", "fig3", "fig4", "fig5", "fig6", "rtt", "ab-sync", "ab-lb", "ab-var", "ab-prio", "ab-arch", "ab-chaos", "ab-elastic", "ab-pipeline", "ab-shard", "ab-consist", "kernel"} {
+		for _, k := range []string{"fig2", "fig3", "fig4", "fig5", "fig6", "rtt", "ab-sync", "ab-lb", "ab-var", "ab-prio", "ab-arch", "ab-chaos", "ab-elastic", "ab-pipeline", "ab-shard", "ab-consist", "ab-plan", "kernel", "planner"} {
 			want[k] = true
 		}
 	}
 	if *benchKernel {
 		want["kernel"] = true
+	}
+	if *benchPlan {
+		want["planner"] = true
 	}
 	opts := experiment.SweepOpts{Short: *short, Parallelism: *par, Seed: *seed}
 	if !*quiet {
@@ -101,6 +106,10 @@ func main() {
 		}
 		banner("determinism sanitizer: MVCC session-consistency arm twice with one seed, byte-compared JSON")
 		if err := experiment.ConsistDeterminism(opts); err != nil {
+			fatal(err)
+		}
+		banner("determinism sanitizer: cost-based planner arm twice with one seed, byte-compared JSON incl. EXPLAIN")
+		if err := experiment.PlanDeterminism(opts); err != nil {
 			fatal(err)
 		}
 		fmt.Println("determinism check passed: both runs produced byte-identical JSON")
@@ -282,6 +291,16 @@ func main() {
 		writeJSON("consist", experiment.ConsistencyJSON(r))
 	}
 
+	if want["ab-plan"] {
+		banner("ablation: cost-based planner vs naive planning (A-PLAN)")
+		r, err := experiment.AblationPlan(opts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(experiment.RenderPlan(r))
+		writeJSON("plan", experiment.PlanJSON(r))
+	}
+
 	if want["ab-elastic"] {
 		banner("ablation: SLO-driven autoscaling (A-ELASTIC)")
 		r, err := experiment.AblationElastic(opts)
@@ -328,6 +347,22 @@ func main() {
 				fatal(err)
 			}
 			fmt.Printf("kernel baseline gate passed (%s)\n", *kernelBaseline)
+		}
+	}
+
+	if want["planner"] {
+		banner("planner bench: executor speed by query shape (point read, index scan, hash join, group agg)")
+		r, err := experiment.PlanBench()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(experiment.RenderPlanBench(r))
+		writeJSON("planner", r)
+		if *planBaseline != "" {
+			if err := experiment.CheckPlanBaseline(*planBaseline, r); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("planner baseline gate passed (%s)\n", *planBaseline)
 		}
 	}
 

@@ -35,6 +35,12 @@ type engine struct{}
 
 func (*engine) Pin() *snapshotHandle { return nil }
 
+type statement struct{}
+
+func (*statement) Run() error { return nil }
+
+func (*engine) Prepare(sql string) (*statement, error) { return nil, nil }
+
 type tracer struct{}
 
 func (*tracer) StartSpan(stage, name string) *span            { return nil }
@@ -50,6 +56,7 @@ func bad(q queue, pl pool, tr *tracer, e *engine) {
 	tr.StartSpan("client", "exec")  // want `result of tr\.StartSpan dropped`
 	tr.StartLinked("apply", "a", 1) // want `result of tr\.StartLinked dropped`
 	e.Pin()                         // want `result of e\.Pin dropped`
+	e.Prepare("SELECT 1")           // want `result of e\.Prepare dropped`
 }
 
 func ok(q queue, pl pool, tr *tracer, e *engine) {
@@ -65,6 +72,9 @@ func ok(q queue, pl pool, tr *tracer, e *engine) {
 	_ = tr.StartLinked("apply", "a", 1) // explicit discard allowed
 	h := e.Pin()
 	h.Close()
+	st, err := e.Prepare("SELECT 1")
+	_ = err
+	_ = st.Run()
 	fmt.Println("non-handle calls are out of scope")
 	var b strings.Builder
 	b.WriteString("infallible")

@@ -1,0 +1,116 @@
+package cloudstone
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"cloudrepl/internal/cloud"
+	"cloudrepl/internal/server"
+	"cloudrepl/internal/sim"
+	"cloudrepl/internal/sqlengine"
+)
+
+// pageQueries is every read page in the Cloudstone mix (driver.go readOp,
+// plus both friend-feed statements), each with representative bindings.
+// The planner-vs-naive differential runs all of them under both planner
+// modes: a plan is only an execution strategy, so the result sets must be
+// byte-identical — order-sensitive where the page has an ORDER BY.
+func pageQueries() []struct {
+	name string
+	sql  string
+	args []sqlengine.Value
+} {
+	ids := []int64{1, 7, 23, 37}
+	var out []struct {
+		name string
+		sql  string
+		args []sqlengine.Value
+	}
+	add := func(name, sql string, args ...sqlengine.Value) {
+		out = append(out, struct {
+			name string
+			sql  string
+			args []sqlengine.Value
+		}{name, sql, args})
+	}
+	add("home", "SELECT id, title, event_date FROM events ORDER BY created DESC LIMIT 10")
+	for _, id := range ids {
+		add("event-feed", EventFeedSQL, sqlengine.NewInt(id))
+		add("event-detail", "SELECT * FROM events WHERE id = ?", sqlengine.NewInt(id))
+		add("attendees", "SELECT user_id FROM attendance WHERE event_id = ?", sqlengine.NewInt(id))
+		add("search-tag",
+			"SELECT e.id, e.title FROM event_tags et JOIN events e ON e.id = et.event_id WHERE et.tag_id = ? LIMIT 20",
+			sqlengine.NewInt(id%NumTags+1))
+		add("profile", "SELECT * FROM users WHERE id = ?", sqlengine.NewInt(id))
+		add("user-events", "SELECT id, title FROM events WHERE creator_id = ?", sqlengine.NewInt(id))
+		add("friend-list", "SELECT friend_id FROM friends WHERE user_id = ?", sqlengine.NewInt(id))
+	}
+	add("search-text", "SELECT id, title FROM events WHERE title LIKE ? LIMIT 10",
+		sqlengine.NewString("%7 m%"))
+	add("friend-feed", "SELECT id, title FROM events WHERE creator_id IN (?, ?, ?) ORDER BY created DESC LIMIT 10",
+		sqlengine.NewInt(2), sqlengine.NewInt(15), sqlengine.NewInt(29))
+	add("tag-cloud", "SELECT tag_id, COUNT(*) AS cnt FROM event_tags GROUP BY tag_id ORDER BY cnt DESC LIMIT 10")
+	return out
+}
+
+// canonPage flattens a result set for comparison; unordered pages compare
+// as multisets.
+func canonPage(set *sqlengine.ResultSet, ordered bool) []string {
+	rows := make([]string, 0, len(set.Rows))
+	for _, r := range set.Rows {
+		var b strings.Builder
+		for _, v := range r {
+			b.WriteString(v.SQL())
+			b.WriteByte('|')
+		}
+		rows = append(rows, b.String())
+	}
+	if !ordered {
+		sort.Strings(rows)
+	}
+	return rows
+}
+
+// TestPagesPlannerNaiveDifferential preloads the Cloudstone data set on a
+// standalone node and runs every read page under the cost-based and the
+// forced-naive planner, requiring identical result sets. Scale 37 is
+// deliberately coprime with the tag vocabulary so tag-cloud counts are not
+// all tied (a tie under LIMIT would make row identity ambiguous rather than
+// testing plan equivalence).
+func TestPagesPlannerNaiveDifferential(t *testing.T) {
+	env := sim.NewEnv(11)
+	defer env.Shutdown()
+	c := cloud.New(env, cloud.Config{})
+	place := cloud.Placement{Region: cloud.USWest1, Zone: "a"}
+	inst := c.Launch("m", cloud.Small, place)
+	srv := server.New(env, "m", inst, server.DefaultCostModel())
+	if err := Preload(37)(srv); err != nil {
+		t.Fatal(err)
+	}
+	eng := srv.Eng
+	for _, pq := range pageQueries() {
+		ordered := strings.Contains(pq.sql, "ORDER BY")
+		run := func(naive bool) []string {
+			eng.NaivePlan = naive
+			sess := eng.NewSession(DatabaseName)
+			set, err := sess.Query(pq.sql, pq.args...)
+			if err != nil {
+				t.Fatalf("%s (naive=%v): %v", pq.name, naive, err)
+			}
+			return canonPage(set, ordered)
+		}
+		cost, naive := run(false), run(true)
+		eng.NaivePlan = false
+		if len(cost) != len(naive) {
+			t.Errorf("%s: cost %d rows, naive %d rows", pq.name, len(cost), len(naive))
+			continue
+		}
+		for i := range cost {
+			if cost[i] != naive[i] {
+				t.Errorf("%s: row %d differs\ncost:  %s\nnaive: %s", pq.name, i, cost[i], naive[i])
+				break
+			}
+		}
+	}
+}

@@ -52,6 +52,11 @@ type Config struct {
 	// batched binlog shipping, and parallel slave apply. The zero value is
 	// the classic one-statement-at-a-time path.
 	Pipeline repl.PipelineConfig
+	// NaivePlan forces every node's SQL engine to the naive (pre-planner
+	// parity) query planner: syntax-order joins, no predicate pushdown, no
+	// cost-based join-algorithm choice. The A-PLAN ablation sets it to
+	// measure how much the cost-based planner buys in end-to-end ops/s.
+	NaivePlan bool
 	// NamePrefix prepends every instance name this cluster creates
 	// ("master", "slave1", ...). A sharded deployment runs one Cluster per
 	// cell and sets a per-cell prefix ("cell0/", "cell1/", ...) so instance
@@ -85,6 +90,7 @@ func New(env *sim.Env, cl *cloud.Cloud, cfg Config) (*Cluster, error) {
 	mName := cfg.NamePrefix + "master"
 	mInst := cl.Launch(mName, cfg.Master.Type, cfg.Master.Place)
 	mSrv := server.New(env, mName, mInst, cfg.Cost)
+	mSrv.Eng.NaivePlan = cfg.NaivePlan
 	if cfg.Preload != nil {
 		if err := cfg.Preload(mSrv); err != nil {
 			return nil, fmt.Errorf("cluster: preload master: %w", err)
@@ -133,6 +139,7 @@ func (c *Cluster) AddSlave(spec NodeSpec) (*repl.Slave, error) {
 	name := fmt.Sprintf("%sslave%d", c.cfg.NamePrefix, c.nextID)
 	inst := c.cloud.Launch(name, spec.Type, spec.Place)
 	srv := server.New(c.env, name, inst, c.cfg.Cost)
+	srv.Eng.NaivePlan = c.cfg.NaivePlan
 	srv.PriorityApply = c.cfg.PriorityApply
 	srv.Tracer = c.tracer
 	if c.cfg.Preload != nil {
@@ -255,6 +262,7 @@ func (c *Cluster) snapshotProvision(spec NodeSpec) (*server.DBServer, uint64, er
 	name := fmt.Sprintf("%sslave%d", c.cfg.NamePrefix, c.nextID)
 	inst := c.cloud.Launch(name, spec.Type, spec.Place)
 	srv := server.New(c.env, name, inst, c.cfg.Cost)
+	srv.Eng.NaivePlan = c.cfg.NaivePlan
 	srv.PriorityApply = c.cfg.PriorityApply
 	srv.Tracer = c.tracer
 	// Pin the master's commit version at the recorded binlog position, then

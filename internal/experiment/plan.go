@@ -1,0 +1,224 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"cloudrepl/internal/cloud"
+	"cloudrepl/internal/cloudstone"
+	"cloudrepl/internal/cluster"
+	"cloudrepl/internal/repl"
+	"cloudrepl/internal/server"
+	"cloudrepl/internal/sim"
+)
+
+// PlanArmResult is one planner mode measured on the shared A-PLAN grid: the
+// Cloudstone mix (including the join-heavy event-feed page) at a fixed user
+// population, with every node's SQL engine forced to that planner.
+type PlanArmResult struct {
+	Planner   string // "cost-based" or "naive"
+	Users     int
+	Slaves    int
+	ReadRatio float64
+
+	Throughput      float64
+	ReadThroughput  float64
+	WriteThroughput float64
+	Errors          int
+	LatencyMsMean   float64
+	AvgDelayMs      float64
+	SlaveUtil       []float64
+
+	// FeedPlan is the EXPLAIN rendering of the event-feed statement under
+	// this arm's planner — the decision log that shows *why* the arms differ
+	// (access order, join algorithms, index choices).
+	FeedPlan string
+	// FeedCost is the planner's estimated rows examined for one event-feed
+	// page view, the engine's cost unit and the server's virtual-CPU charge.
+	FeedCost float64
+}
+
+// PlanResult is the A-PLAN ablation output.
+type PlanResult struct {
+	Users     int
+	Slaves    int
+	Scale     int
+	ReadRatio float64
+	Arms      []PlanArmResult // cost-based first, then naive
+}
+
+// planGrid is the shared parameter point both arms run on: the 80/20
+// read-heavy mix at the larger data size, loaded enough that the slaves
+// saturate — so per-read CPU (rows examined) converts directly into
+// end-to-end ops/s, which is where a better plan must show up.
+type planGrid struct {
+	users, slaves, scale int
+	readRatio            float64
+}
+
+func defaultPlanGrid() planGrid {
+	return planGrid{users: 150, slaves: 2, scale: 600, readRatio: 0.8}
+}
+
+// AblationPlan measures what the cost-based planner buys end to end: the
+// same Cloudstone grid once with the default planner and once with every
+// engine forced to the naive (syntax-order, no-pushdown) planner. The mix's
+// event-feed page is written in deliberately bad syntax order, so the naive
+// arm walks every attendance row per page view while the cost arm drives
+// the selective index and index-nested-loops the children — the throughput
+// gap is that difference times the feed's share of the mix.
+func AblationPlan(opts SweepOpts) (PlanResult, error) {
+	g := defaultPlanGrid()
+	out := PlanResult{Users: g.users, Slaves: g.slaves, Scale: g.scale, ReadRatio: g.readRatio}
+	for _, naive := range []bool{false, true} {
+		arm, err := runPlanArm(opts, g, naive)
+		if err != nil {
+			return out, err
+		}
+		out.Arms = append(out.Arms, arm)
+		if opts.Progress != nil {
+			opts.Progress(fmt.Sprintf(
+				"plan %-10s %4d users  tp=%7.2f ops/s  lat=%7.1f ms  feed-cost=%8.0f rows  err=%d",
+				arm.Planner, arm.Users, arm.Throughput, arm.LatencyMsMean, arm.FeedCost, arm.Errors))
+		}
+	}
+	return out, nil
+}
+
+// runPlanArm executes one planner mode on its own virtual timeline. Both
+// arms share one seed so the workload arrival pattern is identical and the
+// comparison is paired.
+func runPlanArm(opts SweepOpts, g planGrid, naive bool) (PlanArmResult, error) {
+	ramp, steady, down := opts.phases()
+	res, err := Run(RunSpec{
+		Seed: opts.Seed, Users: g.users, Slaves: g.slaves, Scale: g.scale,
+		ReadRatio: g.readRatio, Loc: SameZone, Mode: repl.Async,
+		NaivePlan: naive,
+		RampUp:    ramp, Steady: steady, RampDown: down,
+	})
+	name := "cost-based"
+	if naive {
+		name = "naive"
+	}
+	if err != nil {
+		return PlanArmResult{}, fmt.Errorf("plan arm %s: %w", name, err)
+	}
+	arm := PlanArmResult{
+		Planner: name, Users: g.users, Slaves: g.slaves, ReadRatio: g.readRatio,
+		Throughput: res.Throughput, ReadThroughput: res.ReadThroughput,
+		WriteThroughput: res.WriteThroughput, Errors: res.Errors,
+		LatencyMsMean: res.LatencyMsMean, AvgDelayMs: res.AvgDelayMs,
+		SlaveUtil: res.SlaveUtil,
+	}
+	arm.FeedPlan, arm.FeedCost, err = planDecisionLog(opts.Seed, g.scale, naive)
+	if err != nil {
+		return arm, fmt.Errorf("plan arm %s: decision log: %w", name, err)
+	}
+	return arm, nil
+}
+
+// planDecisionLog preloads a standalone master at the grid's data size and
+// explains the event-feed statement under the given planner mode, returning
+// the stable EXPLAIN rendering and the plan's estimated rows examined.
+func planDecisionLog(seed int64, scale int, naive bool) (string, float64, error) {
+	env := sim.NewEnv(seed)
+	defer env.Shutdown()
+	c := cloud.New(env, cloud.Config{})
+	place := cloud.Placement{Region: cloud.USWest1, Zone: "a"}
+	clu, err := cluster.New(env, c, cluster.Config{
+		Mode: repl.Async, Cost: server.DefaultCostModel(),
+		Master:    cluster.NodeSpec{Place: place},
+		Preload:   func(srv *server.DBServer) error { return cloudstone.Preload(scale)(srv) },
+		NaivePlan: naive,
+	})
+	if err != nil {
+		return "", 0, err
+	}
+	eng := clu.Master().Srv.Eng
+	sess := eng.NewSession(cloudstone.DatabaseName)
+	stmt, err := eng.Prepare(cloudstone.EventFeedSQL)
+	if err != nil {
+		return "", 0, err
+	}
+	p, err := stmt.Plan(sess)
+	if err != nil {
+		return "", 0, err
+	}
+	return p.Explain(), p.Cost(), nil
+}
+
+// PlanDeterminism runs the cost-based arm (the stateful planner: statistics
+// refresh, plan cache, epoch invalidation) twice from one seed and fails on
+// any byte difference in the marshalled result — the EXPLAIN decision log
+// included, since a drifting plan choice must surface as a byte diff.
+func PlanDeterminism(opts SweepOpts) error {
+	g := defaultPlanGrid()
+	if opts.Short {
+		g.users = 75
+	}
+	return CheckDeterminism("A-PLAN", func() (any, error) {
+		arm, err := runPlanArm(opts, g, false)
+		if err != nil {
+			return nil, err
+		}
+		return arm, nil
+	})
+}
+
+// RenderPlan formats the A-PLAN ablation for the terminal.
+func RenderPlan(r PlanResult) string {
+	var b strings.Builder
+	b.WriteString("A-PLAN — cost-based planner vs naive (syntax-order) planning\n")
+	fmt.Fprintf(&b, "%d users, %d slaves, data size %d, %.0f/%.0f read/write mix, same-zone async replication\n\n",
+		r.Users, r.Slaves, r.Scale, 100*r.ReadRatio, 100*(1-r.ReadRatio))
+	fmt.Fprintf(&b, "%-11s %11s %9s %10s %16s %6s\n",
+		"planner", "tp (ops/s)", "lat (ms)", "delay (ms)", "feed cost (rows)", "errs")
+	for _, a := range r.Arms {
+		fmt.Fprintf(&b, "%-11s %11.2f %9.2f %10.1f %16.0f %6d\n",
+			a.Planner, a.Throughput, a.LatencyMsMean, a.AvgDelayMs, a.FeedCost, a.Errors)
+	}
+	for _, a := range r.Arms {
+		fmt.Fprintf(&b, "\nevent-feed plan under the %s planner:\n", a.Planner)
+		for _, line := range strings.Split(a.FeedPlan, "\n") {
+			b.WriteString("  " + line + "\n")
+		}
+	}
+	b.WriteString("\nthe event-feed page names attendance first and keys its only selective\n")
+	b.WriteString("predicate on events; the cost-based planner reorders to drive the\n")
+	b.WriteString("creator index and index-nested-loops the children, while the naive\n")
+	b.WriteString("planner scans every attendance row per page view. with the slaves\n")
+	b.WriteString("saturated, those examined rows are the read capacity — the throughput\n")
+	b.WriteString("gap is the planner's contribution to end-to-end ops/s.\n")
+	return b.String()
+}
+
+// PlanJSON shapes the ablation for BENCH_plan.json.
+func PlanJSON(r PlanResult) any {
+	type arm struct {
+		Planner         string  `json:"planner"`
+		Throughput      float64 `json:"throughput_ops_s"`
+		ReadThroughput  float64 `json:"read_throughput_ops_s"`
+		WriteThroughput float64 `json:"write_throughput_ops_s"`
+		Errors          int     `json:"errors"`
+		LatencyMsMean   float64 `json:"latency_ms_mean"`
+		AvgDelayMs      float64 `json:"delay_ms"`
+		FeedCost        float64 `json:"feed_cost_rows"`
+		FeedPlan        string  `json:"feed_plan"`
+	}
+	arms := []arm{}
+	for _, a := range r.Arms {
+		arms = append(arms, arm{
+			Planner: a.Planner, Throughput: a.Throughput,
+			ReadThroughput: a.ReadThroughput, WriteThroughput: a.WriteThroughput,
+			Errors: a.Errors, LatencyMsMean: a.LatencyMsMean, AvgDelayMs: a.AvgDelayMs,
+			FeedCost: a.FeedCost, FeedPlan: a.FeedPlan,
+		})
+	}
+	return map[string]any{
+		"users":      r.Users,
+		"slaves":     r.Slaves,
+		"scale":      r.Scale,
+		"read_ratio": r.ReadRatio,
+		"arms":       arms,
+	}
+}

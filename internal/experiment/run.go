@@ -90,6 +90,10 @@ type RunSpec struct {
 	Heterogeneous bool
 	// PriorityApply runs slave SQL threads at high CPU priority (A-PRIO).
 	PriorityApply bool
+	// NaivePlan forces every node's SQL engine to the naive (syntax-order,
+	// no-pushdown) query planner; A-PLAN compares it against the default
+	// cost-based planner on the join-heavy event-feed reads.
+	NaivePlan bool
 	// Cost overrides the calibrated cost model when non-nil.
 	Cost *server.CostModel
 	// Chaos, when non-nil, arms a fault schedule on the run's timeline
@@ -236,6 +240,7 @@ func Run(spec RunSpec) (RunResult, error) {
 		Slaves:        slaveSpecs,
 		Preload:       preload,
 		PriorityApply: spec.PriorityApply,
+		NaivePlan:     spec.NaivePlan,
 		Pipeline:      spec.Pipeline,
 	})
 	if err != nil {

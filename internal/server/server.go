@@ -205,7 +205,13 @@ func (s *DBServer) Exec(p *sim.Proc, sess *sqlengine.Session, sql string, args .
 	sp := s.Tracer.StartSpan(p, "server", "exec")
 	sp.SetAttr("server", s.Name)
 	before := s.Log.LastSeq()
-	res, err := sess.Exec(sql, args...)
+	// Prepared-statement path: parse and normalization are cached per text,
+	// and SELECT plans are shared across argument vectors via the plan cache.
+	var res *sqlengine.Result
+	stmt, err := s.Eng.Prepare(sql)
+	if err == nil {
+		res, err = stmt.Run(sess, args...)
+	}
 	if err != nil {
 		sp.SetAttr("error", "sql")
 		sp.End(p)
@@ -283,7 +289,11 @@ func (s *DBServer) groupCommit(p *sim.Proc) {
 // ExecFree executes a statement without charging CPU — used by loaders that
 // pre-populate databases before an experiment's clock starts.
 func (s *DBServer) ExecFree(sess *sqlengine.Session, sql string, args ...sqlengine.Value) (*sqlengine.Result, error) {
-	return sess.Exec(sql, args...)
+	stmt, err := s.Eng.Prepare(sql)
+	if err != nil {
+		return nil, err
+	}
+	return stmt.Run(sess, args...)
 }
 
 // Apply re-executes a replicated statement on this server (the slave SQL

@@ -5,10 +5,16 @@ import (
 	"strings"
 )
 
-// Statement is a parsed SQL statement. String renders it back to SQL; for
-// statements with bound parameters, rendering after Bind produces the
-// fully-interpolated text recorded in the binlog.
-type Statement interface {
+// Stmt is a parsed SQL statement (the AST root). String renders it back to
+// SQL; for statements with bound parameters, rendering after Bind produces
+// the fully-interpolated text recorded in the binlog. The canonical String
+// rendering also serves as the normalized-SQL key of the plan cache: two
+// texts differing only in whitespace or keyword case share one entry.
+//
+// Stmt is the raw parse-tree layer. The prepared-statement handle the engine
+// hands out is *Statement (prepare.go), which wraps a Stmt together with its
+// normalization and plan-cache identity.
+type Stmt interface {
 	String() string
 	stmt()
 }
@@ -305,6 +311,19 @@ type SelectStmt struct {
 	OrderBy  []OrderItem
 	Limit    Expr // nil when absent
 	Offset   Expr
+
+	// norm caches the canonical String() rendering used as the plan-cache
+	// key. Written only under the engine mutex (planner) and cleared by the
+	// binder when it copies the statement.
+	norm string
+}
+
+// normKey returns the memoized canonical rendering of the statement.
+func (s *SelectStmt) normKey() string {
+	if s.norm == "" {
+		s.norm = s.String()
+	}
+	return s.norm
 }
 
 func (s *SelectStmt) String() string {
@@ -539,7 +558,7 @@ func (*LikeExpr) expr() {}
 // Bind returns a deep copy of stmt with every Param replaced by the
 // corresponding argument as a literal. The rendered String of the result is
 // the replayable statement text that goes into the binlog.
-func Bind(stmt Statement, args []Value) (Statement, error) {
+func Bind(stmt Stmt, args []Value) (Stmt, error) {
 	b := &binder{args: args}
 	out := b.stmt(stmt)
 	if b.err != nil {
@@ -557,7 +576,7 @@ type binder struct {
 	err  error
 }
 
-func (b *binder) stmt(s Statement) Statement {
+func (b *binder) stmt(s Stmt) Stmt {
 	switch s := s.(type) {
 	case *ExplainStmt:
 		return &ExplainStmt{Inner: b.stmt(s.Inner)}
@@ -582,6 +601,7 @@ func (b *binder) stmt(s Statement) Statement {
 		return &out
 	case *SelectStmt:
 		out := *s
+		out.norm = "" // bound copy renders differently from the original
 		out.Exprs = make([]SelectExpr, len(s.Exprs))
 		for i, se := range s.Exprs {
 			out.Exprs[i] = SelectExpr{se.Star, b.expr(se.Expr), se.Alias}

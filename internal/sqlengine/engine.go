@@ -124,7 +124,29 @@ type Engine struct {
 	gcVersions uint64
 	gcRows     uint64
 
-	parseCache sync.Map // sql string -> Statement
+	parseCache sync.Map // sql string -> parseEntry
+
+	// Planner state (planner.go, prepare.go). statsEpoch advances on
+	// ANALYZE, DDL and snapshot Restore; a cached *Plan embeds table and
+	// index pointers plus cost estimates, so any epoch mismatch retires it.
+	// planCache is keyed on db + normalized SQL + planner mode and, like the
+	// catalog it points into, is only touched under mu.
+	statsEpoch uint64
+	planCache  map[string]*Plan
+
+	// NaivePlan forces the syntax-order, no-pushdown planner for every
+	// statement — the A-PLAN ablation's baseline arm, mirroring the
+	// pre-planner executor's access-path choices exactly.
+	NaivePlan bool
+}
+
+// parseEntry is a parse-cache value: the immutable AST plus its canonical
+// String rendering (which keys the plan cache across textual variants) and
+// parameter count, both computed once per distinct text.
+type parseEntry struct {
+	stmt    Stmt
+	norm    string
+	nparams int
 }
 
 // Database is a named collection of tables.
@@ -148,6 +170,7 @@ func NewEngine() *Engine {
 	return &Engine{
 		dbs:       make(map[string]*Database),
 		NowMicros: func() int64 { return 0 },
+		planCache: make(map[string]*Plan),
 	}
 }
 
@@ -179,16 +202,27 @@ func (e *Engine) Databases() []string {
 
 // parse returns the cached AST for sql, parsing on first use. Cached ASTs
 // are never mutated: execution works on bound copies.
-func (e *Engine) parse(sql string) (Statement, error) {
-	if v, ok := e.parseCache.Load(sql); ok {
-		return v.(Statement), nil
-	}
-	stmt, err := Parse(sql)
+func (e *Engine) parse(sql string) (Stmt, error) {
+	ent, err := e.parseEntry(sql)
 	if err != nil {
 		return nil, err
 	}
-	e.parseCache.Store(sql, stmt)
-	return stmt, nil
+	return ent.stmt, nil
+}
+
+// parseEntry returns the cached AST plus its normalized rendering, parsing
+// and rendering on first use.
+func (e *Engine) parseEntry(sql string) (parseEntry, error) {
+	if v, ok := e.parseCache.Load(sql); ok {
+		return v.(parseEntry), nil
+	}
+	stmt, err := Parse(sql)
+	if err != nil {
+		return parseEntry{}, err
+	}
+	ent := parseEntry{stmt: stmt, norm: stmt.String(), nparams: countParams(stmt)}
+	e.parseCache.Store(sql, ent)
+	return ent, nil
 }
 
 // Session is a connection-scoped execution context: current database,
@@ -220,13 +254,18 @@ func (s *Session) DB() string { return s.db }
 // InTxn reports whether an explicit transaction is open.
 func (s *Session) InTxn() bool { return s.inTxn }
 
-// Exec parses (with caching), binds args and executes one statement.
+// Exec parses (with caching) and executes one statement with args.
+//
+// Deprecated: Exec remains as a compatibility shim over the prepared
+// statement API and behaves identically. New code should use Engine.Prepare
+// once and Statement.Run per call, which makes the parse/plan reuse explicit
+// and exposes the plan via Statement.Plan.
 func (s *Session) Exec(sql string, args ...Value) (*Result, error) {
-	stmt, err := s.eng.parse(sql)
+	stmt, err := s.eng.Prepare(sql)
 	if err != nil {
 		return nil, err
 	}
-	return s.ExecStmt(stmt, args...)
+	return stmt.Run(s, args...)
 }
 
 // ExecUncached parses and executes one statement without touching the
@@ -242,13 +281,24 @@ func (s *Session) ExecUncached(sql string, args ...Value) (*Result, error) {
 }
 
 // ExecStmt executes a pre-parsed statement with bound args.
-func (s *Session) ExecStmt(stmt Statement, args ...Value) (*Result, error) {
+//
+// Reads (SELECT, EXPLAIN) are not bound: the planner works on the original
+// parameterized AST so one cached plan serves every argument vector, and the
+// executor resolves ? placeholders against args at evaluation time. Writes
+// still bind eagerly — the binlog replicates their interpolated text.
+func (s *Session) ExecStmt(stmt Stmt, args ...Value) (*Result, error) {
 	bound := stmt
-	if len(args) > 0 || hasParams(stmt) {
-		var err error
-		bound, err = Bind(stmt, args)
-		if err != nil {
-			return nil, err
+	var readArgs []Value
+	switch stmt.(type) {
+	case *SelectStmt, *ExplainStmt:
+		readArgs = args
+	default:
+		if len(args) > 0 || hasParams(stmt) {
+			var err error
+			bound, err = Bind(stmt, args)
+			if err != nil {
+				return nil, err
+			}
 		}
 	}
 	switch st := bound.(type) {
@@ -280,7 +330,7 @@ func (s *Session) ExecStmt(stmt Statement, args ...Value) (*Result, error) {
 
 	s.eng.mu.Lock()
 	defer s.eng.mu.Unlock()
-	res, err := s.eng.execLocked(s, bound)
+	res, err := s.eng.execLocked(s, bound, readArgs)
 	if err != nil {
 		return nil, err
 	}
@@ -399,7 +449,7 @@ func (s *Session) resolveTable(ref TableRef) (*Database, *Table, error) {
 }
 
 // hasParams reports whether any Param node appears in the statement.
-func hasParams(stmt Statement) bool {
+func hasParams(stmt Stmt) bool {
 	found := false
 	walkStmt(stmt, func(e Expr) {
 		if _, ok := e.(*Param); ok {
@@ -410,7 +460,7 @@ func hasParams(stmt Statement) bool {
 }
 
 // walkStmt visits every expression in a statement.
-func walkStmt(stmt Statement, visit func(Expr)) {
+func walkStmt(stmt Stmt, visit func(Expr)) {
 	switch s := stmt.(type) {
 	case *ExplainStmt:
 		walkStmt(s.Inner, visit)

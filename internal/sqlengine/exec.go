@@ -6,9 +6,11 @@ import (
 	"strings"
 )
 
-// execLocked executes a bound non-transaction statement. The engine mutex
-// is held by the caller.
-func (e *Engine) execLocked(s *Session, stmt Statement) (*Result, error) {
+// execLocked executes a non-transaction statement. The engine mutex is held
+// by the caller. Write statements arrive pre-bound (args interpolated);
+// reads arrive as the original parameterized AST with args carried
+// separately for plan-cache sharing.
+func (e *Engine) execLocked(s *Session, stmt Stmt, args []Value) (*Result, error) {
 	switch st := stmt.(type) {
 	case *CreateDatabaseStmt:
 		if err := e.createDatabaseLocked(st.Name, st.IfNotExists); err != nil {
@@ -26,6 +28,7 @@ func (e *Engine) execLocked(s *Session, stmt Statement) (*Result, error) {
 		}
 		n := tbl.NumRows()
 		tbl.Truncate()
+		e.bumpStatsEpochLocked()
 		return &Result{Stats: ExecStats{Class: ClassDDL, RowsAffected: n}, SQL: st.String()}, nil
 	case *InsertStmt:
 		return e.execInsert(s, st)
@@ -34,9 +37,9 @@ func (e *Engine) execLocked(s *Session, stmt Statement) (*Result, error) {
 	case *DeleteStmt:
 		return e.execDelete(s, st)
 	case *SelectStmt:
-		return e.execSelect(s, st)
+		return e.execSelect(s, st, args)
 	case *ExplainStmt:
-		return e.execExplain(s, st)
+		return e.execExplain(s, st, args)
 	case *ShowStmt:
 		return e.execShow(s, st)
 	case *DescribeStmt:
@@ -82,6 +85,7 @@ func (e *Engine) execCreateTable(s *Session, st *CreateTableStmt) (*Result, erro
 		return nil, err
 	}
 	db.tables[key] = tbl
+	e.bumpStatsEpochLocked()
 	return &Result{Stats: ExecStats{Class: ClassDDL}, SQL: st.String()}, nil
 }
 
@@ -102,6 +106,7 @@ func (e *Engine) execDropTable(s *Session, st *DropTableStmt) (*Result, error) {
 		return nil, fmt.Errorf("sqlengine: unknown table %s.%s", dbName, st.Table.Name)
 	}
 	delete(db.tables, key)
+	e.bumpStatsEpochLocked()
 	return &Result{Stats: ExecStats{Class: ClassDDL}, SQL: st.String()}, nil
 }
 
@@ -429,9 +434,25 @@ func pickCandidates(tbl *Table, refName string, where Expr, eng *Engine) ([]*Row
 // jrow is one joined row: per scope table, its values (nil = LEFT JOIN miss).
 type jrow [][]Value
 
-func (e *Engine) execSelect(s *Session, st *SelectStmt) (*Result, error) {
+func (e *Engine) execSelect(s *Session, st *SelectStmt, args []Value) (*Result, error) {
+	p, err := e.planSelectLocked(s, st)
+	if err != nil {
+		return nil, err
+	}
+	return e.execPlan(s, p, args, nil)
+}
+
+// execPlan runs a built plan: the iterator pipeline (operators.go) streams
+// joined rows into chunked jrow backing, and the shared projection /
+// aggregation / order / limit tail finishes the result. acts, when non-nil,
+// receives per-node output counts for EXPLAIN ANALYZE.
+func (e *Engine) execPlan(s *Session, p *Plan, args []Value, acts []int64) (*Result, error) {
+	if err := p.checkArgs(args); err != nil {
+		return nil, err
+	}
+	st := p.stmt
 	stats := ExecStats{Class: ClassRead}
-	sc := &scope{eng: e}
+	sc := &scope{eng: e, args: args}
 
 	// Table-less SELECT: evaluate once against the empty scope.
 	if st.From == nil {
@@ -448,147 +469,47 @@ func (e *Engine) execSelect(s *Session, st *SelectStmt) (*Result, error) {
 			row = append(row, v)
 			cols = append(cols, selectColName(se))
 		}
+		if acts != nil && len(p.tail) > 0 {
+			acts[p.tail[0].id] = 1
+		}
 		stats.RowsReturned = 1
 		return &Result{Set: &ResultSet{Columns: cols, Rows: [][]Value{row}}, Stats: stats}, nil
 	}
 
-	// Resolve tables into the scope.
-	_, fromTbl, err := s.resolveTable(*st.From)
-	if err != nil {
-		return nil, err
+	for _, pt := range p.tables {
+		sc.tables = append(sc.tables, scopeTable{pt.lower, pt.tbl, nil})
 	}
-	sc.tables = append(sc.tables, scopeTable{strings.ToLower(st.From.refName()), fromTbl, nil})
-	joinTbls := make([]*Table, len(st.Joins))
-	for i, j := range st.Joins {
-		_, jt, err := s.resolveTable(j.Table)
+
+	// Visibility is decided per execution, never per plan: a latest-version
+	// reader uses heaps and indexes directly, a snapshot reader degrades
+	// index access to chain-resolving scans inside the operators.
+	readV, mvccScan := e.readViewFor(s)
+	ctx := &execCtx{e: e, s: s, sc: sc, readV: readV, mvcc: mvccScan, stats: &stats, acts: acts}
+	it := buildIter(ctx, p.root)
+
+	// Materialize surviving joined rows out of chunked backing arrays — one
+	// allocation per 64 rows rather than one per row; only rows that pass
+	// every pushed filter are ever copied.
+	nt := len(sc.tables)
+	var rows []jrow
+	var chunk jrow
+	for {
+		ok, err := it.next()
 		if err != nil {
 			return nil, err
 		}
-		joinTbls[i] = jt
-		sc.tables = append(sc.tables, scopeTable{strings.ToLower(j.Table.refName()), jt, nil})
-	}
-
-	// Scan the driving table. At the latest commit version with no foreign
-	// provisional writes, the live heap and its indexes are exact — the
-	// legacy fast path. A snapshot reader (open transaction behind the
-	// latest commit, or concurrent provisional writers) resolves visibility
-	// through the version chains instead; indexes cover only latest images,
-	// so the chain scan walks the full heap plus the graveyard.
-	readV, mvccScan := e.readViewFor(s)
-	var candVals [][]Value
-	if mvccScan {
-		candVals = fromTbl.scanVisible(s, readV)
-		stats.RowsExamined += len(candVals)
-	} else {
-		cands, usedIdx := pickCandidates(fromTbl, st.From.refName(), st.Where, e)
-		stats.UsedIndex = usedIdx
-		stats.RowsExamined += len(cands)
-		candVals = make([][]Value, len(cands))
-		for i, r := range cands {
-			candVals[i] = r.vals
+		if !ok {
+			break
 		}
-	}
-
-	// One flat backing array for the initial working rows instead of one
-	// heap object per candidate — the scan is the per-query allocation
-	// hot spot.
-	nt := len(sc.tables)
-	cur := make([]jrow, len(candVals))
-	flat := make(jrow, len(candVals)*nt)
-	for i, vals := range candVals {
-		row := flat[i*nt : (i+1)*nt : (i+1)*nt]
-		row[0] = vals
-		cur[i] = row
-	}
-
-	// Nested-loop joins, with index lookup on `right.col = expr(left)` when
-	// available.
-	for ji, j := range st.Joins {
-		jt := joinTbls[ji]
-		rightIdx := ji + 1
-		eqCol, eqExpr := joinEqPattern(j.On, strings.ToLower(j.Table.refName()), jt)
-		// Under a chain-resolving scan the join side is versioned too: one
-		// visibility pass over the join table, reused for every outer row
-		// (its index reflects only latest images).
-		var jimages [][]Value
-		if mvccScan {
-			jimages = jt.scanVisible(s, readV)
+		if len(chunk) < nt {
+			chunk = make(jrow, 64*nt)
 		}
-		var next []jrow
-		// Matched rows are copied out of chunked backing arrays rather than
-		// one heap object per match.
-		var jchunk jrow
-		copyRow := func(row jrow) jrow {
-			if len(jchunk) < nt {
-				jchunk = make(jrow, 64*nt)
-			}
-			out := jchunk[0:nt:nt]
-			jchunk = jchunk[nt:]
-			copy(out, row)
-			return out
+		row := chunk[0:nt:nt]
+		chunk = chunk[nt:]
+		for i := range sc.tables {
+			row[i] = sc.tables[i].vals
 		}
-		for _, row := range cur {
-			setScope(sc, row)
-			var matches []*Row
-			if !mvccScan {
-				indexed := false
-				if eqCol >= 0 {
-					if v, err := sc.eval(eqExpr); err == nil {
-						if rows, usable := jt.lookupEq(eqCol, v); usable {
-							matches = rows
-							indexed = true
-						}
-					}
-				}
-				if !indexed {
-					matches = jt.Rows()
-				}
-			}
-			nmatch := len(matches)
-			if mvccScan {
-				nmatch = len(jimages)
-			}
-			stats.RowsExamined += nmatch
-			matched := false
-			for mi := 0; mi < nmatch; mi++ {
-				if mvccScan {
-					row[rightIdx] = jimages[mi]
-				} else {
-					row[rightIdx] = matches[mi].vals
-				}
-				setScope(sc, row)
-				ok, err := sc.eval(j.On)
-				if err != nil {
-					return nil, err
-				}
-				if ok.IsNull() || !ok.Bool() {
-					continue
-				}
-				matched = true
-				next = append(next, copyRow(row))
-			}
-			row[rightIdx] = nil
-			if !matched && j.Left {
-				next = append(next, copyRow(row))
-			}
-		}
-		cur = next
-	}
-
-	// WHERE filter over joined rows.
-	if st.Where != nil {
-		filtered := cur[:0]
-		for _, row := range cur {
-			setScope(sc, row)
-			ok, err := sc.eval(st.Where)
-			if err != nil {
-				return nil, err
-			}
-			if !ok.IsNull() && ok.Bool() {
-				filtered = append(filtered, row)
-			}
-		}
-		cur = filtered
+		rows = append(rows, row)
 	}
 
 	aggregated := len(st.GroupBy) > 0
@@ -599,21 +520,36 @@ func (e *Engine) execSelect(s *Session, st *SelectStmt) (*Result, error) {
 	}
 
 	var set *ResultSet
+	var err error
 	if aggregated {
-		set, err = e.aggSelect(sc, st, cur)
+		set, err = e.aggSelect(sc, st, rows)
 	} else {
-		set, err = e.plainSelect(sc, st, cur)
+		set, err = e.plainSelect(sc, st, rows)
 	}
 	if err != nil {
 		return nil, err
 	}
-
+	setTailActs := func(kinds ...opKind) {
+		if acts == nil {
+			return
+		}
+		for _, n := range p.tail {
+			for _, k := range kinds {
+				if n.kind == k {
+					acts[n.id] = int64(len(set.Rows))
+				}
+			}
+		}
+	}
+	setTailActs(opHashAgg, opProject, opSort, opTopN)
 	if st.Distinct {
 		set.Rows = distinctRows(set.Rows)
+		setTailActs(opDistinct)
 	}
-	if set.Rows, err = applyLimit(st, set.Rows, e); err != nil {
+	if set.Rows, err = applyLimit(st, set.Rows, sc); err != nil {
 		return nil, err
 	}
+	setTailActs(opLimit)
 	stats.RowsReturned = len(set.Rows)
 	return &Result{Set: set, Stats: stats}, nil
 }
@@ -668,7 +604,7 @@ func (e *Engine) plainSelect(sc *scope, st *SelectStmt, rows []jrow) (*ResultSet
 	// reference an alias. The per-row map was the engine's top allocator.
 	aliases := aliasMapFor(st)
 	width, nk := len(cols), len(st.OrderBy)
-	if top, ok := topNBound(st, e, aliases); ok && top < len(rows) {
+	if top, ok := topNBound(st, sc, aliases); ok && top < len(rows) {
 		return e.topNSelect(sc, st, rows, cols, top)
 	}
 	out := make([]sortableRow, 0, len(rows))
@@ -704,20 +640,20 @@ func (e *Engine) plainSelect(sc *scope, st *SelectStmt, rows []jrow) (*ResultSet
 
 // topNBound reports how many leading sorted rows the query can ever return
 // (LIMIT + OFFSET) when bounded selection is equivalent to sorting
-// everything: ORDER BY present, constant LIMIT/OFFSET, no DISTINCT (which
-// dedups before the limit), and no SELECT alias in play (aliases force
-// projection-first evaluation).
-func topNBound(st *SelectStmt, eng *Engine, aliases map[string]Value) (int, bool) {
+// everything: ORDER BY present, constant LIMIT/OFFSET (parameters resolve
+// through the scope's args), no DISTINCT (which dedups before the limit),
+// and no SELECT alias in play (aliases force projection-first evaluation).
+func topNBound(st *SelectStmt, sc *scope, aliases map[string]Value) (int, bool) {
 	if len(st.OrderBy) == 0 || st.Distinct || st.Limit == nil || aliases != nil {
 		return 0, false
 	}
-	lv, ok := constEval(st.Limit, eng)
+	lv, ok := limitConst(sc, st.Limit)
 	if !ok {
 		return 0, false
 	}
 	n := int(lv.Int())
 	if st.Offset != nil {
-		ov, ok := constEval(st.Offset, eng)
+		ov, ok := limitConst(sc, st.Offset)
 		if !ok {
 			return 0, false
 		}
@@ -1132,10 +1068,23 @@ func distinctRows(rows [][]Value) [][]Value {
 	return out
 }
 
-func applyLimit(st *SelectStmt, rows [][]Value, eng *Engine) ([][]Value, error) {
+// limitConst evaluates a LIMIT/OFFSET expression: it must reference no
+// columns, but may reference ? parameters resolved through the scope's args.
+func limitConst(sc *scope, e Expr) (Value, bool) {
+	if !runtimeConst(e) {
+		return Null, false
+	}
+	v, err := sc.eval(e)
+	if err != nil {
+		return Null, false
+	}
+	return v, true
+}
+
+func applyLimit(st *SelectStmt, rows [][]Value, sc *scope) ([][]Value, error) {
 	offset := 0
 	if st.Offset != nil {
-		v, ok := constEval(st.Offset, eng)
+		v, ok := limitConst(sc, st.Offset)
 		if !ok {
 			return nil, fmt.Errorf("sqlengine: OFFSET must be constant")
 		}
@@ -1148,7 +1097,7 @@ func applyLimit(st *SelectStmt, rows [][]Value, eng *Engine) ([][]Value, error) 
 		rows = rows[offset:]
 	}
 	if st.Limit != nil {
-		v, ok := constEval(st.Limit, eng)
+		v, ok := limitConst(sc, st.Limit)
 		if !ok {
 			return nil, fmt.Errorf("sqlengine: LIMIT must be constant")
 		}

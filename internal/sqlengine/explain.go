@@ -2,161 +2,117 @@ package sqlengine
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 )
 
-// ExplainStmt is EXPLAIN <statement>: it reports the access path the
-// executor would take without running the statement.
+// ExplainStmt is EXPLAIN [ANALYZE] <statement>. Plain EXPLAIN renders the
+// plan the planner would choose without executing the statement; EXPLAIN
+// ANALYZE executes it and annotates every operator with its actual output
+// row count.
 type ExplainStmt struct {
-	Inner Statement
+	Inner   Stmt
+	Analyze bool
 }
 
-func (s *ExplainStmt) String() string { return "EXPLAIN " + s.Inner.String() }
-func (*ExplainStmt) stmt()            {}
-
-// explainRow is one plan step.
-type explainRow struct {
-	table  string
-	access string // "const (PRIMARY)", "ref (idx_x)", "ALL"
-	rows   int    // estimated rows examined
-	extra  string
+func (s *ExplainStmt) String() string {
+	if s.Analyze {
+		return "EXPLAIN ANALYZE " + s.Inner.String()
+	}
+	return "EXPLAIN " + s.Inner.String()
 }
+func (*ExplainStmt) stmt() {}
 
-// execExplain produces the plan description for the inner statement.
-func (e *Engine) execExplain(s *Session, st *ExplainStmt) (*Result, error) {
-	var rows []explainRow
+// execExplain renders the plan tree for the inner statement: a single "plan"
+// column, one operator per row, in the byte-deterministic format documented
+// on planNode.line — the A-PLAN decision log and the EXPLAIN golden test
+// both pin it. SELECT goes through the planner; UPDATE and DELETE render
+// their driving access with the same operator vocabulary.
+func (e *Engine) execExplain(s *Session, st *ExplainStmt, args []Value) (*Result, error) {
+	var lines []string
 	switch inner := st.Inner.(type) {
 	case *SelectStmt:
-		if inner.From == nil {
-			rows = append(rows, explainRow{table: "<none>", access: "no table", rows: 1})
-			break
-		}
-		_, tbl, err := s.resolveTable(*inner.From)
+		p, err := e.planSelectLocked(s, inner)
 		if err != nil {
 			return nil, err
 		}
-		rows = append(rows, explainAccess(tbl, inner.From.refName(), inner.Where, e))
-		for i := range inner.Joins {
-			j := inner.Joins[i]
-			_, jt, err := s.resolveTable(j.Table)
-			if err != nil {
+		var acts []int64
+		if st.Analyze {
+			acts = make([]int64, len(p.nodes))
+			if _, err := e.execPlan(s, p, args, acts); err != nil {
 				return nil, err
 			}
-			r := explainRow{table: j.Table.refName(), access: "ALL", rows: jt.NumRows()}
-			if col, _ := joinEqPattern(j.On, strings.ToLower(j.Table.refName()), jt); col >= 0 {
-				if name, ok := indexNameFor(jt, col); ok {
-					r.access = "ref (" + name + ")"
-					r.rows = estimateBucket(jt)
-				}
-			}
-			if j.Left {
-				r.extra = "left join"
-			}
-			rows = append(rows, r)
 		}
-		var notes []string
-		if len(inner.GroupBy) > 0 {
-			notes = append(notes, "group by")
-		}
-		if len(inner.OrderBy) > 0 {
-			notes = append(notes, "sort")
-		}
-		if inner.Limit != nil {
-			notes = append(notes, "limit")
-		}
-		if len(notes) > 0 && len(rows) > 0 {
-			first := &rows[0]
-			if first.extra != "" {
-				first.extra += "; "
-			}
-			first.extra += strings.Join(notes, ", ")
-		}
+		lines = p.Lines(acts)
 	case *UpdateStmt:
-		_, tbl, err := s.resolveTable(inner.Table)
-		if err != nil {
-			return nil, err
+		lines = []string{writeAccessLine(s, inner.Table, inner.Where, "update")}
+		if strings.HasPrefix(lines[0], "!") {
+			return nil, fmt.Errorf("sqlengine: %s", lines[0][1:])
 		}
-		r := explainAccess(tbl, inner.Table.refName(), inner.Where, e)
-		r.extra = strings.TrimSpace("update " + r.extra)
-		rows = append(rows, r)
 	case *DeleteStmt:
-		_, tbl, err := s.resolveTable(inner.Table)
-		if err != nil {
-			return nil, err
+		lines = []string{writeAccessLine(s, inner.Table, inner.Where, "delete")}
+		if strings.HasPrefix(lines[0], "!") {
+			return nil, fmt.Errorf("sqlengine: %s", lines[0][1:])
 		}
-		r := explainAccess(tbl, inner.Table.refName(), inner.Where, e)
-		r.extra = strings.TrimSpace("delete " + r.extra)
-		rows = append(rows, r)
 	default:
 		return nil, fmt.Errorf("sqlengine: cannot EXPLAIN %T", st.Inner)
 	}
 
-	set := &ResultSet{Columns: []string{"table", "access", "est_rows", "extra"}}
-	for _, r := range rows {
-		set.Rows = append(set.Rows, []Value{
-			NewString(r.table), NewString(r.access), NewInt(int64(r.rows)), NewString(r.extra),
-		})
+	set := &ResultSet{Columns: []string{"plan"}}
+	for _, l := range lines {
+		set.Rows = append(set.Rows, []Value{NewString(l)})
 	}
 	return &Result{Set: set, Stats: ExecStats{Class: ClassRead, RowsReturned: len(set.Rows)}, SQL: st.String()}, nil
 }
 
-// explainAccess describes the driving-table access path for a WHERE clause
-// using the same selection logic as the executor.
-func explainAccess(tbl *Table, refName string, where Expr, eng *Engine) explainRow {
-	ref := strings.ToLower(refName)
+// writeAccessLine renders the driving access an UPDATE/DELETE would use (the
+// write executor's pickCandidates logic), in the plan-line format. A leading
+// "!" marks a resolution error for the caller to surface.
+func writeAccessLine(s *Session, ref TableRef, where Expr, verb string) string {
+	_, tbl, err := s.resolveTable(ref)
+	if err != nil {
+		return "!" + strings.TrimPrefix(err.Error(), "sqlengine: ")
+	}
+	op := "scan"
+	detail := ref.refName()
+	est := len(tbl.rows)
 	for _, c := range conjuncts(where) {
 		b, ok := c.(*Binary)
 		if !ok || b.Op != "=" {
 			continue
 		}
+		found := false
 		for _, try := range [2][2]Expr{{b.L, b.R}, {b.R, b.L}} {
 			col, ok := try[0].(*ColRef)
 			if !ok {
 				continue
 			}
-			if col.Table != "" && strings.ToLower(col.Table) != ref {
+			if col.Table != "" && strings.ToLower(col.Table) != strings.ToLower(ref.refName()) {
 				continue
 			}
 			pos, ok := tbl.ColPos(col.Name)
 			if !ok {
 				continue
 			}
-			if _, usable := constEval(try[1], eng); !usable {
+			if !runtimeConst(try[1]) {
 				continue
 			}
-			if len(tbl.pkCols) == 1 && tbl.pkCols[0] == pos {
-				return explainRow{table: refName, access: "const (PRIMARY)", rows: 1}
+			name, unique, usable := usableEqIndex(tbl, pos)
+			if !usable {
+				continue
 			}
-			if name, ok := indexNameFor(tbl, pos); ok {
-				return explainRow{table: refName, access: "ref (" + name + ")", rows: estimateBucket(tbl)}
-			}
+			op = "index_scan"
+			detail = ref.refName() + " via " + name + " on (" + tbl.Columns[pos].Name + " = " + try[1].String() + ")"
+			est = int(eqBucketEst(tbl, pos, unique))
+			found = true
+			break
+		}
+		if found {
+			break
 		}
 	}
-	return explainRow{table: refName, access: "ALL", rows: tbl.NumRows()}
-}
-
-// indexNameFor finds a single-column secondary index on column pos.
-func indexNameFor(tbl *Table, pos int) (string, bool) {
-	if len(tbl.pkCols) == 1 && tbl.pkCols[0] == pos {
-		return "PRIMARY", true
+	if where != nil {
+		detail += " filter (" + where.String() + ")"
 	}
-	for _, ix := range tbl.indexes {
-		if len(ix.Cols) == 1 && ix.Cols[0] == pos {
-			return ix.Name, true
-		}
-	}
-	return "", false
-}
-
-// estimateBucket estimates rows per index bucket (uniform assumption).
-func estimateBucket(tbl *Table) int {
-	n := tbl.NumRows()
-	if n == 0 {
-		return 0
-	}
-	est := n / 10
-	if est < 1 {
-		est = 1
-	}
-	return est
+	return op + " " + detail + " (" + verb + " est=" + strconv.Itoa(est) + " cost=" + strconv.Itoa(est) + ")"
 }

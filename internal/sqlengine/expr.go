@@ -13,10 +13,13 @@ type scopeTable struct {
 	vals []Value
 }
 
-// scope is the row context for evaluating expressions.
+// scope is the row context for evaluating expressions. args carries the
+// statement's positional arguments for reads executed against the original
+// parameterized AST (writes interpolate via Bind and never see a Param).
 type scope struct {
 	tables []scopeTable
 	eng    *Engine
+	args   []Value
 }
 
 // resolve finds the value for a column reference, memoizing the column
@@ -88,6 +91,9 @@ func (sc *scope) eval(e Expr) (Value, error) {
 	case *Literal:
 		return e.V, nil
 	case *Param:
+		if e.Index < len(sc.args) {
+			return sc.args[e.Index], nil
+		}
 		return Null, fmt.Errorf("sqlengine: unbound parameter")
 	case *ColRef:
 		return sc.resolve(e)

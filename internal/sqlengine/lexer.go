@@ -38,7 +38,7 @@ var keywords = map[string]bool{
 	"LIKE": true, "BETWEEN": true, "PRIMARY": true, "KEY": true,
 	"INDEX": true, "UNIQUE": true, "IF": true, "EXISTS": true,
 	"BEGIN": true, "COMMIT": true, "ROLLBACK": true, "USE": true,
-	"EXPLAIN": true, "SHOW": true, "DESCRIBE": true,
+	"EXPLAIN": true, "ANALYZE": true, "SHOW": true, "DESCRIBE": true,
 	"INT": true, "INTEGER": true, "BIGINT": true, "DOUBLE": true,
 	"FLOAT": true, "VARCHAR": true, "TEXT": true, "BOOLEAN": true,
 	"BOOL": true, "TIMESTAMP": true, "DATETIME": true,

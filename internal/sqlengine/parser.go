@@ -18,7 +18,7 @@ func (e *ParseError) Error() string {
 
 // Parse parses a single SQL statement (an optional trailing semicolon is
 // allowed).
-func Parse(sql string) (Statement, error) {
+func Parse(sql string) (Stmt, error) {
 	toks, err := lex(sql)
 	if err != nil {
 		return nil, err
@@ -106,7 +106,7 @@ func (p *parser) ident() (string, error) {
 	return "", p.errf("expected identifier, got %q", t.text)
 }
 
-func (p *parser) statement() (Statement, error) {
+func (p *parser) statement() (Stmt, error) {
 	t := p.peek()
 	if t.kind != tokKeyword {
 		return nil, p.errf("expected statement keyword, got %q", t.text)
@@ -114,11 +114,16 @@ func (p *parser) statement() (Statement, error) {
 	switch t.text {
 	case "EXPLAIN":
 		p.next()
+		analyze := false
+		if a := p.peek(); a.kind == tokKeyword && a.text == "ANALYZE" {
+			p.next()
+			analyze = true
+		}
 		inner, err := p.statement()
 		if err != nil {
 			return nil, err
 		}
-		return &ExplainStmt{Inner: inner}, nil
+		return &ExplainStmt{Inner: inner, Analyze: analyze}, nil
 	case "SHOW":
 		p.next()
 		w := p.peek()
@@ -201,7 +206,7 @@ func (p *parser) tableRef(allowAlias bool) (TableRef, error) {
 	return ref, nil
 }
 
-func (p *parser) createStmt() (Statement, error) {
+func (p *parser) createStmt() (Stmt, error) {
 	p.next() // CREATE
 	if p.acceptKw("DATABASE") {
 		ifne, err := p.ifNotExists()
@@ -370,7 +375,7 @@ func (p *parser) columnDef() (ColumnDef, error) {
 	}
 }
 
-func (p *parser) dropStmt() (Statement, error) {
+func (p *parser) dropStmt() (Stmt, error) {
 	p.next() // DROP
 	if err := p.expectKw("TABLE"); err != nil {
 		return nil, err
@@ -389,7 +394,7 @@ func (p *parser) dropStmt() (Statement, error) {
 	return &DropTableStmt{Table: ref, IfExists: ifExists}, nil
 }
 
-func (p *parser) insertStmt() (Statement, error) {
+func (p *parser) insertStmt() (Stmt, error) {
 	p.next() // INSERT
 	if err := p.expectKw("INTO"); err != nil {
 		return nil, err
@@ -437,7 +442,7 @@ func (p *parser) insertStmt() (Statement, error) {
 	return stmt, nil
 }
 
-func (p *parser) updateStmt() (Statement, error) {
+func (p *parser) updateStmt() (Stmt, error) {
 	p.next() // UPDATE
 	ref, err := p.tableRef(false)
 	if err != nil {
@@ -473,7 +478,7 @@ func (p *parser) updateStmt() (Statement, error) {
 	return stmt, nil
 }
 
-func (p *parser) deleteStmt() (Statement, error) {
+func (p *parser) deleteStmt() (Stmt, error) {
 	p.next() // DELETE
 	if err := p.expectKw("FROM"); err != nil {
 		return nil, err
@@ -491,7 +496,7 @@ func (p *parser) deleteStmt() (Statement, error) {
 	return stmt, nil
 }
 
-func (p *parser) selectStmt() (Statement, error) {
+func (p *parser) selectStmt() (Stmt, error) {
 	p.next() // SELECT
 	stmt := &SelectStmt{}
 	stmt.Distinct = p.acceptKw("DISTINCT")

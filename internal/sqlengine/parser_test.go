@@ -7,7 +7,7 @@ import (
 	"testing/quick"
 )
 
-func mustParse(t *testing.T, sql string) Statement {
+func mustParse(t *testing.T, sql string) Stmt {
 	t.Helper()
 	stmt, err := Parse(sql)
 	if err != nil {

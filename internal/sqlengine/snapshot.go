@@ -175,6 +175,9 @@ func (e *Engine) Restore(snap *Snapshot) error {
 	if snap.version > e.commitV {
 		e.commitV = snap.version
 	}
+	// The whole catalog was just replaced: cached plans hold pre-restore
+	// *Table pointers and must never be reused.
+	e.bumpStatsEpochLocked()
 	return nil
 }
 

@@ -83,6 +83,9 @@ type Table struct {
 	// and indexes, found only by version-resolving scans.
 	graveyard []*Row
 	rowBytes  int // rough per-row footprint, informational
+	// stats is the planner's statistics profile (stats.go): exact live row
+	// count via len(rows), lazily analyzed per-column NDV and bounds.
+	stats tableStats
 }
 
 // NewTable builds a table from column definitions, a primary-key column
@@ -90,6 +93,7 @@ type Table struct {
 // uniqueness is enforced) and secondary index definitions.
 func NewTable(name string, cols []ColumnDef, pkCols []string, indexes []IndexDef) (*Table, error) {
 	t := &Table{Name: name, Columns: cols, colPos: make(map[string]int), pk: make(map[string]*Row)}
+	t.stats.analyzedRows = -1
 	for i, c := range cols {
 		lc := strings.ToLower(c.Name)
 		if _, dup := t.colPos[lc]; dup {
@@ -185,6 +189,7 @@ func (t *Table) Insert(vals []Value) (*Row, error) {
 		}
 	}
 	t.rows = append(t.rows, r)
+	t.stats.observeInsert(stored)
 	return r, nil
 }
 
@@ -230,6 +235,7 @@ func (t *Table) Update(r *Row, newVals []Value) error {
 	}
 	old := r.vals
 	r.vals = stored
+	t.stats.observeInsert(stored)
 	for _, ix := range t.indexes {
 		if err := ix.add(r); err != nil {
 			// Restore: remove entries added so far, put old values back.
